@@ -1,0 +1,112 @@
+// Benchmark harness: one testing.B benchmark per paper table and figure
+// (plus the extension studies), each regenerating the artifact end to end
+// on a fresh environment. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The default bench scale (3e-5 of Table 3's millions) keeps a full pass
+// fast; set MTVEC_BENCH_SCALE to trade time for fidelity, e.g.:
+//
+//	MTVEC_BENCH_SCALE=1e-3 go test -bench=Fig10 -benchtime=1x
+//
+// cmd/mtvbench is the front-end that prints the reproduced rows/series at
+// full reproduction scale.
+package mtvec_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"mtvec"
+)
+
+func benchScale(b *testing.B) float64 {
+	b.Helper()
+	if s := os.Getenv("MTVEC_BENCH_SCALE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			b.Fatalf("bad MTVEC_BENCH_SCALE %q", s)
+		}
+		return v
+	}
+	return 3e-5
+}
+
+// benchExperiment regenerates one experiment per iteration on a fresh
+// (un-memoized) environment.
+func benchExperiment(b *testing.B, id string) {
+	scale := benchScale(b)
+	exp := mtvec.ExperimentByID(id)
+	if exp == nil {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := mtvec.NewEnv(scale)
+		res, err := exp.Run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// Tables.
+
+func BenchmarkTable1Latencies(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2Groupings(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3Counts(b *testing.B)    { benchExperiment(b, "table3") }
+
+// Figures.
+
+func BenchmarkFig4StateBreakdown(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5MemIdle(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6Speedup(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7Occupation(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8VOPC(b *testing.B)           { benchExperiment(b, "fig8") }
+func BenchmarkFig9Profile(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10LatencySweep(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11Crossbar(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12DualScalar(b *testing.B)    { benchExperiment(b, "fig12") }
+
+// Extension / ablation studies.
+
+func BenchmarkExtPolicies(b *testing.B) { benchExperiment(b, "ext-policies") }
+func BenchmarkExtPorts(b *testing.B)    { benchExperiment(b, "ext-ports") }
+func BenchmarkExtBanks(b *testing.B)    { benchExperiment(b, "ext-banks") }
+func BenchmarkExtIssue(b *testing.B)    { benchExperiment(b, "ext-issue") }
+func BenchmarkExtCompiler(b *testing.B) { benchExperiment(b, "ext-compiler") }
+
+// Engine throughput: simulated cycles per wall-clock second on the
+// reference machine and a saturated 4-context machine.
+
+func benchEngine(b *testing.B, contexts int) {
+	scale := benchScale(b)
+	var suite []*mtvec.Workload
+	for _, spec := range mtvec.QueueOrder() {
+		w, err := spec.Build(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		suite = append(suite, w)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cfg := mtvec.DefaultConfig()
+		cfg.Contexts = contexts
+		rep, err := mtvec.RunQueue(suite, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += rep.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+}
+
+func BenchmarkEngineReference(b *testing.B)   { benchEngine(b, 1) }
+func BenchmarkEngineFourThreads(b *testing.B) { benchEngine(b, 4) }

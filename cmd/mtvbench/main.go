@@ -1,0 +1,85 @@
+// Command mtvbench regenerates the paper's evaluation: every table and
+// figure (Tables 1-3, Figures 4-12) plus the ablation extensions, at a
+// configurable workload scale.
+//
+//	mtvbench                      # run everything, aligned text
+//	mtvbench -exp fig10           # one experiment
+//	mtvbench -format markdown     # EXPERIMENTS.md-ready output
+//	mtvbench -list                # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mtvec"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id or 'all' (see -list)")
+		scale  = flag.Float64("scale", mtvec.DefaultScale, "workload scale relative to Table 3 millions")
+		format = flag.String("format", "text", "text | markdown")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		quiet  = flag.Bool("q", false, "suppress progress on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range mtvec.Experiments() {
+			fmt.Printf("%-13s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := run(*exp, *scale, *format, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "mtvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expID string, scale float64, format string, quiet bool) error {
+	var exps []mtvec.Experiment
+	if expID == "all" {
+		exps = mtvec.Experiments()
+	} else {
+		for _, id := range strings.Split(expID, ",") {
+			e := mtvec.ExperimentByID(strings.TrimSpace(id))
+			if e == nil {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			exps = append(exps, *e)
+		}
+	}
+
+	env := mtvec.NewEnv(scale)
+	for _, e := range exps {
+		start := time.Now()
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "running %s ...", e.ID)
+		}
+		res, err := e.Run(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, " %v\n", time.Since(start).Round(time.Millisecond))
+		}
+		switch format {
+		case "text":
+			if err := mtvec.RenderResult(os.Stdout, res); err != nil {
+				return err
+			}
+			fmt.Println()
+		case "markdown":
+			if err := mtvec.RenderResultMarkdown(os.Stdout, res); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+	}
+	return nil
+}

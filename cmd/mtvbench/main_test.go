@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	for _, format := range []string{"text", "markdown"} {
+		if err := run("table1,table2", 1e-4, format, true); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 1e-4, "text", true); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+	if err := run("table1", 1e-4, "pdf", true); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("err = %v", err)
+	}
+}

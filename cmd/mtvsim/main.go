@@ -1,0 +1,124 @@
+// Command mtvsim runs one simulation of the (multithreaded) vector
+// architecture on a set of benchmark programs and prints its metrics.
+//
+// Modes:
+//
+//	-mode solo   run the first program alone (reference methodology)
+//	-mode group  program 1 on thread 0, the rest restart as companions
+//	             until it completes (Section 4.1 methodology)
+//	-mode queue  all programs form a job queue drained by the contexts
+//	             (Section 7 methodology)
+//
+// Example:
+//
+//	mtvsim -programs tf,sw -contexts 2 -latency 50 -mode group
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtvec"
+)
+
+func main() {
+	var (
+		programs = flag.String("programs", "tf", "comma-separated program tags (sw,hy,sr,tf,a7,su,to,na,ti,sd)")
+		contexts = flag.Int("contexts", 1, "hardware contexts (1-8)")
+		latency  = flag.Int("latency", 50, "main memory latency in cycles")
+		scalarL  = flag.Int("scalar-latency", 4, "scalar cache latency (0 = main memory latency)")
+		xbar     = flag.Int("xbar", 2, "vector register file crossbar latency")
+		policy   = flag.String("policy", "unfair", "thread policy: "+strings.Join(mtvec.PolicyNames(), ","))
+		dual     = flag.Bool("dual-scalar", false, "Fujitsu VP2000 dual-scalar mode (2 contexts)")
+		issue    = flag.Int("issue", 1, "decode slots per cycle")
+		mode     = flag.String("mode", "solo", "solo | group | queue")
+		scale    = flag.Float64("scale", mtvec.DefaultScale, "workload scale relative to Table 3 millions")
+		spans    = flag.Bool("spans", false, "print the per-thread execution profile")
+		states   = flag.Bool("states", false, "print the 8-state breakdown")
+	)
+	flag.Parse()
+
+	if err := run(*programs, *contexts, *latency, *scalarL, *xbar, *policy, *dual, *issue, *mode, *scale, *spans, *states); err != nil {
+		fmt.Fprintln(os.Stderr, "mtvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(programs string, contexts, latency, scalarL, xbar int, policy string, dual bool, issue int, mode string, scale float64, spans, states bool) error {
+	var ws []*mtvec.Workload
+	for _, tag := range strings.Split(programs, ",") {
+		tag = strings.TrimSpace(tag)
+		spec := mtvec.WorkloadByShort(tag)
+		if spec == nil {
+			spec = mtvec.WorkloadByName(tag)
+		}
+		if spec == nil {
+			return fmt.Errorf("unknown program %q", tag)
+		}
+		w, err := spec.Build(scale)
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	}
+	if len(ws) == 0 {
+		return fmt.Errorf("no programs given")
+	}
+
+	cfg := mtvec.DefaultConfig()
+	cfg.Contexts = contexts
+	cfg.Mem.Latency = latency
+	cfg.Mem.ScalarLatency = scalarL
+	cfg.Lat.ReadXbar, cfg.Lat.WriteXbar = xbar, xbar
+	cfg.DualScalar = dual
+	cfg.IssueWidth = issue
+	cfg.RecordSpans = spans
+	if p := mtvec.PolicyByName(policy); p != nil {
+		cfg.Policy = p
+	} else {
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	var rep *mtvec.Report
+	var err error
+	switch mode {
+	case "solo":
+		rep, err = mtvec.RunSolo(ws[0], cfg)
+	case "group":
+		rep, err = mtvec.RunGroup(ws[0], ws[1:], cfg)
+	case "queue":
+		rep, err = mtvec.RunQueue(ws, cfg)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cycles:            %d\n", rep.Cycles)
+	fmt.Printf("instructions:      %d\n", rep.Insts)
+	fmt.Printf("lost decode:       %d\n", rep.LostDecode)
+	fmt.Printf("mem occupation:    %.1f%% (%d requests, %d ports)\n",
+		100*rep.MemOccupation(), rep.MemRequests, rep.MemPorts)
+	fmt.Printf("mem-port idle:     %.1f%% of cycles\n", 100*rep.MemIdleFraction())
+	fmt.Printf("VOPC:              %.3f\n", rep.VOPC())
+	for i, th := range rep.Threads {
+		fmt.Printf("thread %d:          %s  completions=%d partial=%d dispatched=%d\n",
+			i, th.Program, th.Completions, th.PartialInsts, th.Dispatched)
+	}
+	if states {
+		fmt.Println("state breakdown:")
+		for s := 0; s < 8; s++ {
+			fmt.Printf("  state %d: %6.2f%%\n", s, 100*float64(rep.Breakdown[s])/float64(rep.Cycles))
+		}
+	}
+	if spans {
+		fmt.Println("execution profile:")
+		for _, sp := range rep.Spans {
+			fmt.Printf("  ctx%d %-8s [%d, %d)\n", sp.Thread, sp.Program, sp.Start, sp.End)
+		}
+	}
+	return nil
+}

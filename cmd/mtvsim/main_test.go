@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const testScale = 5e-5
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{"solo", "group", "queue"} {
+		contexts := 1
+		if mode != "solo" {
+			contexts = 2
+		}
+		err := run("tf,sd", contexts, 50, 4, 2, "unfair", false, 1, mode, testScale, true, true)
+		if err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunDualScalar(t *testing.T) {
+	if err := run("tf,sd", 2, 50, 4, 2, "unfair", true, 1, "queue", testScale, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		programs, policy, mode string
+		contexts               int
+		want                   string
+	}{
+		{"zz", "unfair", "solo", 1, "unknown program"},
+		{"tf", "nope", "solo", 1, "unknown policy"},
+		{"tf", "unfair", "warp", 1, "unknown mode"},
+		{"tf,sw", "unfair", "group", 1, "contexts"},
+	}
+	for _, c := range cases {
+		err := run(c.programs, c.contexts, 50, 4, 2, c.policy, false, 1, c.mode, testScale, false, false)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%+v: err = %v, want containing %q", c, err, c.want)
+		}
+	}
+}
+
+func TestRunByFullName(t *testing.T) {
+	if err := run("flo52", 1, 20, 4, 2, "unfair", false, 1, "solo", testScale, false, false); err != nil {
+		t.Fatal(err)
+	}
+}

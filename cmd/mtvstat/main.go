@@ -1,0 +1,88 @@
+// Command mtvstat prints the Table 3 dynamic profile of the benchmark
+// reconstructions, or of a trace file written by tracegen.
+//
+//	mtvstat                      # all ten programs
+//	mtvstat -program sw          # one program
+//	mtvstat -trace swm256.mtvt   # a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtvec"
+)
+
+func main() {
+	var (
+		program = flag.String("program", "all", "program tag or 'all'")
+		traceF  = flag.String("trace", "", "trace file to analyze instead")
+		scale   = flag.Float64("scale", mtvec.DefaultScale, "workload scale")
+	)
+	flag.Parse()
+	if err := run(*program, *traceF, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "mtvstat:", err)
+		os.Exit(1)
+	}
+}
+
+// createFile is a seam for tests.
+func createFile(path string) (*os.File, error) { return os.Create(path) }
+
+func header() {
+	fmt.Printf("%-9s %-6s %12s %12s %14s %8s %7s %9s\n",
+		"program", "suite", "scalar insts", "vector insts", "vector ops", "%vect", "avg VL", "ideal cyc")
+}
+
+func printStats(name, suite string, st mtvec.ProgramStats) {
+	fmt.Printf("%-9s %-6s %12d %12d %14d %8.1f %7.1f %9d\n",
+		name, suite, st.ScalarInsts, st.VectorInsts, st.VectorOps,
+		st.PctVectorized(), st.AvgVL(), st.IdealCycles())
+}
+
+func run(program, traceF string, scale float64) error {
+	if traceF != "" {
+		f, err := os.Open(traceF)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := mtvec.DecodeTrace(f)
+		if err != nil {
+			return err
+		}
+		st, n, err := mtvec.TraceStats(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s (%d dynamic instructions, %d blocks)\n",
+			tr.Prog.Name, n, len(tr.Prog.Blocks))
+		header()
+		printStats(tr.Prog.Name, "-", st)
+		return nil
+	}
+
+	var specs []*mtvec.WorkloadSpec
+	if program == "all" {
+		specs = mtvec.Workloads()
+	} else {
+		s := mtvec.WorkloadByShort(program)
+		if s == nil {
+			s = mtvec.WorkloadByName(program)
+		}
+		if s == nil {
+			return fmt.Errorf("unknown program %q", program)
+		}
+		specs = append(specs, s)
+	}
+	header()
+	for _, spec := range specs {
+		w, err := spec.Build(scale)
+		if err != nil {
+			return err
+		}
+		printStats(spec.Name, spec.Suite, w.Stats)
+	}
+	return nil
+}

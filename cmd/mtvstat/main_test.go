@@ -1,0 +1,42 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mtvec"
+)
+
+func TestStatsAll(t *testing.T) {
+	if err := run("all", "", 2e-5); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("sw", "", 2e-5); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("zz", "", 2e-5); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestStatsFromTraceFile(t *testing.T) {
+	w, err := mtvec.WorkloadByShort("sd").Build(5e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sd.mtvt")
+	f, err := createFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mtvec.EncodeTrace(f, w.Trace); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("all", path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("all", filepath.Join(t.TempDir(), "missing.mtvt"), 1); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

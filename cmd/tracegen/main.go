@@ -1,0 +1,100 @@
+// Command tracegen writes Dixie-style trace files for the benchmark
+// reconstructions — the instrumentation step of the paper's methodology
+// (Figure 2): the trace fully describes an execution, and any simulator
+// in this repository can replay it.
+//
+//	tracegen -program sw -o swm256.mtvt
+//	tracegen -program all -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mtvec"
+)
+
+func main() {
+	var (
+		program = flag.String("program", "", "program tag (sw, hy, ...) or 'all'")
+		out     = flag.String("o", "", "output file (single program)")
+		dir     = flag.String("dir", ".", "output directory for -program all")
+		scale   = flag.Float64("scale", mtvec.DefaultScale, "workload scale")
+		verify  = flag.Bool("verify", true, "decode the file back and check the stats match")
+	)
+	flag.Parse()
+
+	if *program == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -program required (or 'all')")
+		os.Exit(2)
+	}
+	if err := run(*program, *out, *dir, *scale, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(program, out, dir string, scale float64, verify bool) error {
+	var specs []*mtvec.WorkloadSpec
+	if program == "all" {
+		specs = mtvec.Workloads()
+	} else {
+		s := mtvec.WorkloadByShort(program)
+		if s == nil {
+			s = mtvec.WorkloadByName(program)
+		}
+		if s == nil {
+			return fmt.Errorf("unknown program %q", program)
+		}
+		specs = append(specs, s)
+	}
+
+	for _, spec := range specs {
+		w, err := spec.Build(scale)
+		if err != nil {
+			return err
+		}
+		path := out
+		if path == "" || program == "all" {
+			path = filepath.Join(dir, spec.Name+".mtvt")
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := mtvec.EncodeTrace(f, w.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d dynamic instructions, %d bytes\n", path, w.Stats.Insts(), info.Size())
+
+		if verify {
+			g, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			tr, err := mtvec.DecodeTrace(g)
+			g.Close()
+			if err != nil {
+				return fmt.Errorf("%s: verification decode failed: %w", path, err)
+			}
+			st, _, err := mtvec.TraceStats(tr)
+			if err != nil {
+				return fmt.Errorf("%s: replay failed: %w", path, err)
+			}
+			if st != w.Stats {
+				return fmt.Errorf("%s: replayed statistics differ from the original", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sd.mtvt")
+	if err := run("sd", out, dir, 5e-5, true); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+}
+
+func TestGenerateAllToDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("all", "", dir, 2e-5, false); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.mtvt"))
+	if len(files) != 10 {
+		t.Fatalf("trace files = %d, want 10", len(files))
+	}
+}
+
+func TestUnknownProgram(t *testing.T) {
+	if err := run("zz", "", t.TempDir(), 1e-4, false); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}

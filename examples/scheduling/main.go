@@ -1,0 +1,44 @@
+// Scheduling: compare the paper's "unfair" run-until-block policy with
+// round-robin, every-cycle interleave and LRU on a 3-context machine —
+// the study the paper lists as ongoing work (Section 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtvec"
+)
+
+func main() {
+	const scale = 1e-4
+
+	var suite []*mtvec.Workload
+	for _, spec := range mtvec.QueueOrder() {
+		w, err := spec.Build(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite = append(suite, w)
+	}
+
+	fmt.Printf("%-12s %12s %10s %8s %14s\n", "policy", "cycles", "mem occ", "VOPC", "lost decode")
+	var unfair int64
+	for _, name := range mtvec.PolicyNames() {
+		cfg := mtvec.DefaultConfig()
+		cfg.Contexts = 3
+		cfg.Policy = mtvec.PolicyByName(name)
+		rep, err := mtvec.RunQueue(suite, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if name == "unfair" {
+			unfair = rep.Cycles
+		}
+		fmt.Printf("%-12s %12d %9.1f%% %8.2f %14d\n",
+			name, rep.Cycles, 100*rep.MemOccupation(), rep.VOPC(), rep.LostDecode)
+	}
+
+	fmt.Printf("\nunfair baseline: %d cycles. The paper chose run-until-block to\n", unfair)
+	fmt.Println("preserve chaining windows; every-cycle interleave sacrifices them.")
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"mtvec/internal/isa"
+	"mtvec/internal/prog"
+)
+
+// Cycle counts processor cycles.
+type Cycle = int64
+
+// vregState tracks the in-flight producer and consumers of one vector
+// register. Times are inclusive element-write cycles for the writer and
+// half-open read windows for readers.
+type vregState struct {
+	// Writer: the register is being written while now <= wLast. wFirst
+	// is the cycle its first element lands (chaining point). Chainable
+	// is false for memory loads — the paper's machine does not chain
+	// loads into functional units because elements may return out of
+	// order.
+	wFirst    Cycle
+	wLast     Cycle
+	chainable bool
+
+	// Active read windows [start, end); a slot is free when end <= now.
+	readEnd [maxReaders]Cycle
+}
+
+// maxReaders bounds concurrent readers of one register: FU1, FU2, the
+// store path and slack for back-to-back windows whose tails overlap.
+const maxReaders = 6
+
+func (v *vregState) writerActive(now Cycle) bool { return v.wLast >= now }
+
+func (v *vregState) readersActive(now Cycle) bool {
+	for _, e := range v.readEnd {
+		if e > now {
+			return true
+		}
+	}
+	return false
+}
+
+// lastReadEnd returns the latest active read window end (or now).
+func (v *vregState) lastReadEnd(now Cycle) Cycle {
+	last := now
+	for _, e := range v.readEnd {
+		if e > last {
+			last = e
+		}
+	}
+	return last
+}
+
+// addReader records a read window, reusing an expired slot.
+func (v *vregState) addReader(now, end Cycle) bool {
+	for i, e := range v.readEnd {
+		if e <= now {
+			v.readEnd[i] = end
+			return true
+		}
+	}
+	return false
+}
+
+// portWindow is a busy window [S, E) on a register-bank port.
+type portWindow struct{ S, E Cycle }
+
+// bankState tracks the port occupancy of one two-register bank: two read
+// ports and one write port into the crossbars (Section 3).
+type bankState struct {
+	reads  []portWindow
+	writes []portWindow
+}
+
+// prune drops expired windows.
+func (b *bankState) prune(now Cycle) {
+	keep := func(ws []portWindow) []portWindow {
+		out := ws[:0]
+		for _, w := range ws {
+			if w.E > now {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	b.reads = keep(b.reads)
+	b.writes = keep(b.writes)
+}
+
+// readPortFree reports whether a read port is available for the whole
+// window [s, e), i.e. no instant within it already has 2 active reads.
+// On failure it returns the earliest cycle the conflict could clear.
+func (b *bankState) readPortFree(s, e Cycle) (bool, Cycle) {
+	return portFree(b.reads, s, e, isa.BankReadPorts)
+}
+
+// writePortFree is the analogous single-write-port check.
+func (b *bankState) writePortFree(s, e Cycle) (bool, Cycle) {
+	return portFree(b.writes, s, e, isa.BankWritePorts)
+}
+
+// portFree counts the maximum overlap of existing windows with [s, e) and
+// checks it stays below capacity. Window lists are tiny (a handful of
+// in-flight instructions per context), so the quadratic sweep is cheap.
+func portFree(ws []portWindow, s, e Cycle, capacity int) (bool, Cycle) {
+	var overlapping []portWindow
+	for _, w := range ws {
+		if w.S < e && w.E > s {
+			overlapping = append(overlapping, w)
+		}
+	}
+	if len(overlapping) < capacity {
+		return true, 0
+	}
+	// Count concurrency at each overlapping window's start (maximum
+	// overlap is attained at some window start or at s).
+	minEnd := Cycle(1<<62 - 1)
+	points := make([]Cycle, 0, len(overlapping)+1)
+	points = append(points, s)
+	for _, w := range overlapping {
+		if w.S > s {
+			points = append(points, w.S)
+		}
+		if w.E < minEnd {
+			minEnd = w.E
+		}
+	}
+	for _, p := range points {
+		n := 0
+		for _, w := range overlapping {
+			if w.S <= p && p < w.E {
+				n++
+			}
+		}
+		if n >= capacity {
+			return false, minEnd
+		}
+	}
+	return true, 0
+}
+
+// jobSource supplies a context's successive program runs.
+type jobSource func() (*prog.Stream, string, bool)
+
+// newContext builds an idle context: no register has an in-flight writer
+// (wLast = -1 marks the writer inactive from cycle 0 on).
+func newContext(id int) *context {
+	c := &context{id: id}
+	for i := range c.vregs {
+		c.vregs[i].wFirst = -1
+		c.vregs[i].wLast = -1
+	}
+	return c
+}
+
+// context is one hardware context: its registers, its instruction stream
+// and its progress accounting.
+type context struct {
+	id int
+
+	// Architectural state timing.
+	aReady [isa.NumA]Cycle
+	sReady [isa.NumS]Cycle
+	vregs  [isa.NumV]vregState
+	banks  [isa.NumVBanks]bankState
+
+	// Instruction supply.
+	stream    *prog.Stream
+	next      jobSource
+	head      isa.DynInst
+	headValid bool
+	exhausted bool
+
+	// Accounting.
+	program     string
+	completions int64
+	dispatched  int64
+	spanStart   Cycle
+	spanOpen    bool
+	err         error
+}
+
+// refill fetches the next head instruction, pulling a new job when the
+// current stream ends. It reports whether the context has work.
+func (c *context) refill(m *Machine) bool {
+	if c.headValid {
+		return true
+	}
+	for {
+		if c.stream != nil && c.stream.Next(&c.head) {
+			c.headValid = true
+			return true
+		}
+		if c.stream != nil {
+			// Stream ended: account a completion and close the span.
+			if err := c.stream.Err(); err != nil && c.err == nil {
+				c.err = err
+			}
+			c.completions++
+			m.closeSpan(c)
+			c.stream = nil
+		}
+		if c.next == nil {
+			c.exhausted = true
+			return false
+		}
+		s, name, ok := c.next()
+		if !ok {
+			c.exhausted = true
+			return false
+		}
+		c.stream = s
+		c.program = name
+		c.spanStart = m.now
+		c.spanOpen = true
+	}
+}
+
+// partialInsts returns how far into the current (unfinished) run the
+// context is, in dynamic instructions.
+func (c *context) partialInsts() int64 {
+	if c.stream == nil {
+		return 0
+	}
+	n := c.stream.Count()
+	if c.headValid {
+		// The head was pulled from the stream but not yet dispatched.
+		n--
+	}
+	return n
+}
+
+// quiesce returns the cycle by which all of the context's in-flight
+// register activity has drained.
+func (c *context) quiesce(now Cycle) Cycle {
+	q := now
+	for i := range c.vregs {
+		v := &c.vregs[i]
+		if v.wLast+1 > q {
+			q = v.wLast + 1
+		}
+		if e := v.lastReadEnd(now); e > q {
+			q = e
+		}
+	}
+	for _, r := range c.aReady {
+		if r > q {
+			q = r
+		}
+	}
+	for _, r := range c.sReady {
+		if r > q {
+			q = r
+		}
+	}
+	return q
+}

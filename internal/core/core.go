@@ -1,0 +1,493 @@
+// Package core implements the paper's contribution: a cycle-by-cycle
+// model of a Convex C3400-class vector processor (the reference
+// architecture) and its multithreaded extension with up to four hardware
+// contexts sharing the fetch/decode unit, the two vector functional
+// units, the memory pipe and the single address port (Section 3).
+//
+// The decode unit examines exactly one thread per cycle and dispatches at
+// most one instruction; a thread runs until it blocks on a data
+// dependence or resource conflict, then the switch logic picks another
+// thread (policy-selectable, default the paper's "unfair" lowest-numbered
+// scheme). Chaining is fully flexible between functional units and into
+// the store path, but memory loads never chain into consumers. Vector
+// register banks expose two read ports and one write port each, and the
+// register-file crossbar latencies are configurable to reproduce the
+// Section 8 study.
+//
+// The Fujitsu VP2000-style comparison machine of Section 9 (two scalar
+// decode units sharing one vector facility) and the paper's future-work
+// knobs (multi-thread issue, multiple memory ports via memsys) are
+// included.
+package core
+
+import (
+	"fmt"
+
+	"mtvec/internal/isa"
+	"mtvec/internal/memsys"
+	"mtvec/internal/prog"
+	"mtvec/internal/sched"
+	"mtvec/internal/stats"
+)
+
+// MaxContexts is the largest context count the register file model
+// supports (the paper studies up to 4).
+const MaxContexts = 8
+
+// Config selects a machine variant.
+type Config struct {
+	// Contexts is the number of hardware contexts; 1 models the
+	// reference architecture.
+	Contexts int
+
+	// Lat is the functional-unit / crossbar latency table (Table 1).
+	Lat isa.LatencyTable
+
+	// Mem configures the memory subsystem (latency, ports, banking).
+	Mem memsys.Config
+
+	// Policy is the thread-switch policy; nil selects the paper's
+	// Unfair scheme.
+	Policy sched.Policy
+
+	// DualScalar models the Fujitsu VP2000 Dual Scalar Processing
+	// configuration of Section 9: one decode/scalar unit per context
+	// (requires exactly 2 contexts), sharing the vector facility.
+	DualScalar bool
+
+	// IssueWidth is the number of decode slots per cycle (the paper's
+	// future-work "dispatch from several threads"; 1 is the paper's
+	// machine).
+	IssueWidth int
+
+	// RecordSpans enables Figure 9 execution-profile capture.
+	RecordSpans bool
+
+	// DisableFastForward turns off the all-threads-blocked clock skip.
+	// The skip is observationally equivalent (verified by tests) and
+	// only trades wall-clock time; this knob exists for that
+	// verification and for debugging.
+	DisableFastForward bool
+}
+
+// DefaultConfig returns the reference architecture at 50-cycle memory
+// latency.
+func DefaultConfig() Config {
+	return Config{
+		Contexts:   1,
+		Lat:        isa.DefaultLatencies(),
+		Mem:        memsys.DefaultConfig(),
+		IssueWidth: 1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Contexts < 1 || c.Contexts > MaxContexts {
+		return fmt.Errorf("core: contexts %d out of range 1..%d", c.Contexts, MaxContexts)
+	}
+	if err := c.Lat.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if c.DualScalar && c.Contexts != 2 {
+		return fmt.Errorf("core: dual-scalar mode requires exactly 2 contexts, have %d", c.Contexts)
+	}
+	if c.IssueWidth < 1 || c.IssueWidth > c.Contexts {
+		return fmt.Errorf("core: issue width %d out of range 1..contexts", c.IssueWidth)
+	}
+	return nil
+}
+
+// JobSource supplies a context's successive program runs: each call
+// returns the next program's dynamic stream and name, or ok=false when
+// the context has no further work.
+type JobSource func() (*prog.Stream, string, bool)
+
+// fuState is one pipelined unit's availability.
+type fuState struct{ freeAt Cycle }
+
+// Machine is one simulation instance. Machines are single-use: configure
+// threads, Run once, read the report.
+type Machine struct {
+	cfg Config
+	lat isa.LatencyTable
+	mem *memsys.System
+
+	fu1, fu2, ld fuState
+	ctxs         []*context
+
+	now        Cycle
+	cur        int
+	curBlocked bool
+
+	tl             stats.UnitTimeline
+	lost           int64
+	dispatched     int64
+	vectorArithOps int64
+	vectorOps      int64
+	spans          []stats.Span
+
+	ran bool
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if cfg.IssueWidth == 0 {
+		cfg.IssueWidth = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mem, err := memsys.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = sched.Unfair{}
+	}
+	m := &Machine{cfg: cfg, lat: cfg.Lat, mem: mem, cur: -1}
+	for i := 0; i < cfg.Contexts; i++ {
+		m.ctxs = append(m.ctxs, newContext(i))
+	}
+	return m, nil
+}
+
+// SetThread installs the job source of context id.
+func (m *Machine) SetThread(id int, src JobSource) error {
+	if id < 0 || id >= len(m.ctxs) {
+		return fmt.Errorf("core: thread %d out of range", id)
+	}
+	m.ctxs[id].next = jobSource(src)
+	return nil
+}
+
+// SetThreadStream installs a single-run stream on context id.
+func (m *Machine) SetThreadStream(id int, name string, s *prog.Stream) error {
+	done := false
+	return m.SetThread(id, func() (*prog.Stream, string, bool) {
+		if done {
+			return nil, "", false
+		}
+		done = true
+		return s, name, true
+	})
+}
+
+// Repeat builds a JobSource that restarts the program indefinitely —
+// the paper's companion-thread rule ("we restart them as many times as
+// necessary").
+func Repeat(name string, open func() *prog.Stream) JobSource {
+	return func() (*prog.Stream, string, bool) {
+		return open(), name, true
+	}
+}
+
+// Queue builds a JobSource draining a shared job list; used by the
+// Section 7 methodology where each finishing thread takes the next
+// program from a fixed order.
+type JobQueue struct {
+	jobs []queuedJob
+	next int
+}
+
+type queuedJob struct {
+	name string
+	open func() *prog.Stream
+}
+
+// NewJobQueue creates an empty queue.
+func NewJobQueue() *JobQueue { return &JobQueue{} }
+
+// Add appends a job.
+func (q *JobQueue) Add(name string, open func() *prog.Stream) {
+	q.jobs = append(q.jobs, queuedJob{name, open})
+}
+
+// Source returns the shared JobSource; attach it to every context.
+func (q *JobQueue) Source() JobSource {
+	return func() (*prog.Stream, string, bool) {
+		if q.next >= len(q.jobs) {
+			return nil, "", false
+		}
+		j := q.jobs[q.next]
+		q.next++
+		return j.open(), j.name, true
+	}
+}
+
+// Stop tells Run when to finish.
+type Stop struct {
+	// Thread0Complete stops when context 0 exhausts its job source
+	// (the grouped-run rule of Section 4.1).
+	Thread0Complete bool
+
+	// MaxThread0Insts stops once context 0 has dispatched this many
+	// dynamic instructions (partial reference runs for the speedup
+	// formula). 0 disables.
+	MaxThread0Insts int64
+
+	// MaxCycles is a safety bound; 0 disables.
+	MaxCycles Cycle
+}
+
+// sched.MachineView implementation.
+
+// NumThreads implements sched.MachineView.
+func (m *Machine) NumThreads() int { return len(m.ctxs) }
+
+// HasWork implements sched.MachineView.
+func (m *Machine) HasWork(t int) bool { return m.ctxs[t].refill(m) }
+
+// Dispatchable implements sched.MachineView.
+func (m *Machine) Dispatchable(t int) bool {
+	c := m.ctxs[t]
+	if !c.refill(m) {
+		return false
+	}
+	ok, _ := m.tryDispatch(c, false)
+	return ok
+}
+
+// Run simulates until the stop condition triggers or all work drains,
+// returning the collected metrics.
+func (m *Machine) Run(stop Stop) (*stats.Report, error) {
+	if m.ran {
+		return nil, fmt.Errorf("core: machine already ran; build a new one")
+	}
+	m.ran = true
+
+	for {
+		if stop.MaxCycles > 0 && m.now >= stop.MaxCycles {
+			break
+		}
+		if stop.Thread0Complete && m.ctxs[0].exhausted {
+			break
+		}
+		if stop.MaxThread0Insts > 0 && m.ctxs[0].dispatched >= stop.MaxThread0Insts {
+			break
+		}
+
+		anyWork := false
+		for _, c := range m.ctxs {
+			if c.refill(m) {
+				anyWork = true
+			}
+		}
+		if !anyWork {
+			break
+		}
+		if stop.Thread0Complete && m.ctxs[0].exhausted {
+			break
+		}
+
+		if m.cfg.DualScalar {
+			m.stepDualScalar()
+		} else {
+			m.stepShared()
+		}
+		m.now++
+	}
+
+	if err := m.streamErrors(); err != nil {
+		return nil, err
+	}
+	return m.report(stop), nil
+}
+
+// stepShared is the paper's machine: one decode unit, one thread
+// examined per cycle, IssueWidth extra slots for the future-work
+// simultaneous-issue study.
+func (m *Machine) stepShared() {
+	th := m.cfg.Policy.Pick(m, m.cur, m.curBlocked)
+	if th < 0 {
+		return
+	}
+	c := m.ctxs[th]
+	if ok, hint := m.tryDispatch(c, true); ok {
+		m.completeDispatch(c)
+		m.cur, m.curBlocked = th, false
+	} else {
+		m.lost++
+		m.cur, m.curBlocked = th, true
+		m.maybeSkipAhead(th, hint)
+		return
+	}
+	// Extra issue slots from other threads (extension; IssueWidth=1 on
+	// the paper's machine).
+	for w := 1; w < m.cfg.IssueWidth; w++ {
+		picked := -1
+		for t := 0; t < len(m.ctxs); t++ {
+			if t == th || !m.ctxs[t].refill(m) {
+				continue
+			}
+			if ok, _ := m.tryDispatch(m.ctxs[t], false); ok {
+				picked = t
+				break
+			}
+		}
+		if picked < 0 {
+			break
+		}
+		if ok, _ := m.tryDispatch(m.ctxs[picked], true); ok {
+			m.completeDispatch(m.ctxs[picked])
+		}
+	}
+}
+
+// stepDualScalar is the Fujitsu VP2000 mode: each context has its own
+// decode/scalar unit; both attempt a dispatch every cycle, sharing the
+// vector units and memory port (lower context wins ties by going first).
+func (m *Machine) stepDualScalar() {
+	blockedAll := true
+	blocked := int64(0)
+	minHint := Cycle(1<<62 - 1)
+	for _, c := range m.ctxs {
+		if !c.refill(m) {
+			continue
+		}
+		if ok, hint := m.tryDispatch(c, true); ok {
+			m.completeDispatch(c)
+			blockedAll = false
+		} else {
+			m.lost++
+			blocked++
+			if hint < minHint {
+				minHint = hint
+			}
+		}
+	}
+	if blockedAll && minHint < 1<<61 && !m.cfg.DisableFastForward {
+		m.skipTo(minHint, blocked)
+	}
+}
+
+// completeDispatch consumes the head instruction after a successful
+// dispatch.
+func (m *Machine) completeDispatch(c *context) {
+	c.headValid = false
+	c.dispatched++
+	m.dispatched++
+}
+
+// maybeSkipAhead fast-forwards the clock when every thread with work is
+// blocked: no dispatch can happen before the earliest retry hint, so the
+// intermediate cycles are all lost decode cycles. This changes nothing
+// observable — interval-based accounting covers the gap.
+func (m *Machine) maybeSkipAhead(failed int, hint Cycle) {
+	if m.cfg.DisableFastForward {
+		return
+	}
+	minHint := hint
+	for t, c := range m.ctxs {
+		if t == failed || !c.refill(m) {
+			continue
+		}
+		ok, h := m.tryDispatch(c, false)
+		if ok {
+			return // someone can dispatch next cycle; no skip
+		}
+		if h < minHint {
+			minHint = h
+		}
+	}
+	m.skipTo(minHint, 1)
+}
+
+// skipTo advances the clock so the next loop iteration lands on target.
+// lostPerCycle is the number of decode slots each skipped cycle would
+// have wasted (1 for the shared decoder, one per blocked unit in
+// dual-scalar mode), keeping the lost-decode counter identical to
+// cycle-by-cycle stepping.
+func (m *Machine) skipTo(target Cycle, lostPerCycle int64) {
+	if target <= m.now+1 {
+		return
+	}
+	skipped := target - m.now - 1
+	m.lost += skipped * lostPerCycle
+	m.now += skipped
+}
+
+// closeSpan records the end of a context's current program segment.
+func (m *Machine) closeSpan(c *context) {
+	if !c.spanOpen {
+		return
+	}
+	c.spanOpen = false
+	if !m.cfg.RecordSpans {
+		return
+	}
+	m.spans = append(m.spans, stats.Span{
+		Thread: c.id, Program: c.program, Start: c.spanStart, End: m.now,
+	})
+}
+
+// streamErrors surfaces trace replay failures.
+func (m *Machine) streamErrors() error {
+	for _, c := range m.ctxs {
+		if c.err != nil {
+			return fmt.Errorf("core: thread %d: %w", c.id, c.err)
+		}
+		if c.stream != nil {
+			if err := c.stream.Err(); err != nil {
+				return fmt.Errorf("core: thread %d: %w", c.id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// report assembles the run's metrics.
+func (m *Machine) report(stop Stop) *stats.Report {
+	cycles := m.now
+	switch {
+	case stop.MaxThread0Insts > 0:
+		// Partial runs measure to the dispatch point.
+	case stop.Thread0Complete:
+		if q := m.ctxs[0].quiesce(m.now); q > cycles {
+			cycles = q
+		}
+	default:
+		for _, c := range m.ctxs {
+			if q := c.quiesce(m.now); q > cycles {
+				cycles = q
+			}
+		}
+	}
+
+	rep := &stats.Report{
+		Cycles:         cycles,
+		Breakdown:      m.tl.Sweep(cycles),
+		MemBusyCycles:  m.mem.BusyCycles(),
+		MemRequests:    m.mem.Requests(),
+		MemPorts:       m.mem.Ports(),
+		VectorArithOps: m.vectorArithOps,
+		VectorOps:      m.vectorOps,
+		Insts:          m.dispatched,
+		LostDecode:     m.lost,
+	}
+	for _, c := range m.ctxs {
+		m.closeSpan(c)
+		rep.Threads = append(rep.Threads, stats.ThreadReport{
+			Program:      c.program,
+			Completions:  c.completions,
+			PartialInsts: c.partialInsts(),
+			Dispatched:   c.dispatched,
+		})
+	}
+	rep.Spans = m.spans
+	return rep
+}
+
+// IdealCycles merges workload demand statistics and returns the paper's
+// IDEAL execution-time lower bound (Figure 10): the busy time of the most
+// saturated resource, with all dependences and latencies removed.
+func IdealCycles(all ...prog.Stats) int64 {
+	var merged prog.Stats
+	for i := range all {
+		merged.Merge(&all[i])
+	}
+	return merged.IdealCycles()
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"mtvec/internal/isa"
+	"mtvec/internal/stats"
+)
+
+// tryDispatch attempts to dispatch context c's head instruction at m.now.
+// With commit=false it only probes (the switch logic's "known not to be
+// blocked" test and the skip-ahead estimator use this). On failure it
+// returns a sound lower bound on the cycle the dispatch could first
+// succeed, used to fast-forward when every thread is blocked.
+func (m *Machine) tryDispatch(c *context, commit bool) (bool, Cycle) {
+	d := &c.head
+	info := isa.InfoOf(d.Op)
+	switch info.Kind {
+	case isa.KindScalar, isa.KindBranch, isa.KindVLVS:
+		return m.dispatchScalar(c, d, commit)
+	case isa.KindScalarMem:
+		return m.dispatchScalarMem(c, d, info, commit)
+	case isa.KindVector:
+		return m.dispatchVectorArith(c, d, commit)
+	case isa.KindVectorMem:
+		return m.dispatchVectorMem(c, d, info, commit)
+	}
+	return false, m.now + 1
+}
+
+// scalarReady checks an A/S operand's scoreboard entry.
+func (c *context) scalarReady(o isa.Operand, now Cycle) (bool, Cycle) {
+	switch o.Class {
+	case isa.ClassA:
+		if r := c.aReady[o.Reg]; r > now {
+			return false, r
+		}
+	case isa.ClassS:
+		if r := c.sReady[o.Reg]; r > now {
+			return false, r
+		}
+	}
+	return true, 0
+}
+
+// setScalarReady books a result into the scalar scoreboard.
+func (c *context) setScalarReady(o isa.Operand, at Cycle) {
+	switch o.Class {
+	case isa.ClassA:
+		c.aReady[o.Reg] = at
+	case isa.ClassS:
+		c.sReady[o.Reg] = at
+	}
+}
+
+func (m *Machine) dispatchScalar(c *context, d *isa.DynInst, commit bool) (bool, Cycle) {
+	now := m.now
+	if ok, r := c.scalarReady(d.Src1, now); !ok {
+		return false, r
+	}
+	if ok, r := c.scalarReady(d.Src2, now); !ok {
+		return false, r
+	}
+	if ok, r := c.scalarReady(d.Dst, now); !ok { // WAW on a pending result
+		return false, r
+	}
+	if !commit {
+		return true, 0
+	}
+	if d.Dst.IsReg() {
+		c.setScalarReady(d.Dst, now+Cycle(m.lat.Scalar(d.Op)))
+	}
+	return true, 0
+}
+
+func (m *Machine) dispatchScalarMem(c *context, d *isa.DynInst, info isa.Info, commit bool) (bool, Cycle) {
+	now := m.now
+	if ok, r := c.scalarReady(d.Src1, now); !ok {
+		return false, r
+	}
+	if ok, r := c.scalarReady(d.Src2, now); !ok {
+		return false, r
+	}
+	if ok, r := c.scalarReady(d.Dst, now); !ok {
+		return false, r
+	}
+	if pf := m.mem.PortFreeAt(info.Load); pf > now {
+		return false, pf
+	}
+	if !commit {
+		return true, 0
+	}
+	_, data := m.mem.ScheduleScalar(now, info.Load)
+	if info.Load && d.Dst.IsReg() {
+		c.setScalarReady(d.Dst, data)
+	}
+	return true, 0
+}
+
+// chainReady reports whether vector register r can start being read at
+// cycle now. A consumer of an in-flight FU result chains once the first
+// element has been written (flexible chaining, Section 3); a consumer of
+// an in-flight load waits for the last element. The paper's in-order
+// decode loses the cycle ("the instruction can not proceed") until then,
+// so dispatch blocks rather than reserving resources ahead of time.
+func chainReady(v *vregState, now Cycle) (bool, Cycle) {
+	if !v.writerActive(now) {
+		return true, 0
+	}
+	if !v.chainable {
+		// Memory loads do not chain into consumers; wait for the last
+		// element (Section 3).
+		return false, v.wLast + 1
+	}
+	if s := v.wFirst + 1; s > now {
+		return false, s
+	}
+	return true, 0
+}
+
+// destFree checks WAW/WAR on a vector destination register.
+func destFree(v *vregState, now Cycle) (bool, Cycle) {
+	if v.writerActive(now) {
+		return false, v.wLast + 1
+	}
+	if v.readersActive(now) {
+		return false, v.lastReadEnd(now)
+	}
+	return true, 0
+}
+
+// checkBankReads verifies read-port capacity for the given source
+// registers over [s, e), counting sources that share a bank together.
+func (c *context) checkBankReads(srcs []uint8, s, e Cycle) (bool, Cycle) {
+	var perBank [isa.NumVBanks]int
+	for _, r := range srcs {
+		perBank[isa.VBank(r)]++
+	}
+	for bank, k := range perBank {
+		if k == 0 {
+			continue
+		}
+		need := isa.BankReadPorts - k + 1
+		if need < 1 {
+			// More simultaneous readers than ports in one bank: the
+			// compiler avoids this, but guard anyway.
+			return false, s + 1
+		}
+		ok, retry := portFree(c.banks[bank].reads, s, e, need)
+		if !ok {
+			return false, retry
+		}
+	}
+	return true, 0
+}
+
+// commitReads records read windows and port usage for sources.
+func (c *context) commitReads(srcs []uint8, s, e Cycle, now Cycle) {
+	for _, r := range srcs {
+		c.vregs[r].addReader(now, e)
+		bank := &c.banks[isa.VBank(r)]
+		bank.prune(now)
+		bank.reads = append(bank.reads, portWindow{s, e})
+	}
+}
+
+func (m *Machine) dispatchVectorArith(c *context, d *isa.DynInst, commit bool) (bool, Cycle) {
+	now := m.now
+	vl := Cycle(d.VL)
+
+	// Functional unit selection: FU1 when allowed and free, else FU2.
+	var fu *fuState
+	var unit int
+	if d.Op.FU2Only() {
+		if m.fu2.freeAt > now {
+			return false, m.fu2.freeAt
+		}
+		fu, unit = &m.fu2, stats.UnitFU2
+	} else {
+		switch {
+		case m.fu1.freeAt <= now:
+			fu, unit = &m.fu1, stats.UnitFU1
+		case m.fu2.freeAt <= now:
+			fu, unit = &m.fu2, stats.UnitFU2
+		default:
+			retry := m.fu1.freeAt
+			if m.fu2.freeAt < retry {
+				retry = m.fu2.freeAt
+			}
+			return false, retry
+		}
+	}
+
+	// Scalar operand (vector-scalar forms) must be ready at dispatch.
+	if d.Src2.Class == isa.ClassS {
+		if ok, r := c.scalarReady(d.Src2, now); !ok {
+			return false, r
+		}
+	}
+
+	// Vector sources: chaining constraints.
+	var srcBuf [2]uint8
+	n := d.Inst.VSources(&srcBuf)
+	srcs := srcBuf[:n]
+	for _, r := range srcs {
+		if ok, retry := chainReady(&c.vregs[r], now); !ok {
+			return false, retry
+		}
+	}
+	s := now
+
+	// Destination.
+	redDest := d.Dst.Class == isa.ClassS // reduction writes an S register
+	var dv *vregState
+	if redDest {
+		if ok, r := c.scalarReady(d.Dst, now); !ok {
+			return false, r
+		}
+	} else {
+		dv = &c.vregs[d.Dst.Reg]
+		if ok, retry := destFree(dv, now); !ok {
+			return false, retry
+		}
+	}
+
+	depth := Cycle(m.lat.VectorStartup + m.lat.ReadXbar + m.lat.VectorFU(d.Op) + m.lat.WriteXbar)
+	readEnd := s + vl
+	fw := s + depth
+	lw := fw + vl - 1
+
+	// Register-bank ports.
+	if ok, retry := c.checkBankReads(srcs, s, readEnd); !ok {
+		return false, retry
+	}
+	if !redDest {
+		ok, retry := c.banks[isa.VBank(d.Dst.Reg)].writePortFree(fw, lw+1)
+		if !ok {
+			return false, retry
+		}
+	}
+
+	if !commit {
+		return true, 0
+	}
+
+	fu.freeAt = s + vl
+	m.tl.AddBusy(unit, s, s+vl)
+	c.commitReads(srcs, s, readEnd, now)
+	if redDest {
+		c.setScalarReady(d.Dst, lw+1)
+	} else {
+		dv.wFirst, dv.wLast, dv.chainable = fw, lw, true
+		bank := &c.banks[isa.VBank(d.Dst.Reg)]
+		bank.prune(now)
+		bank.writes = append(bank.writes, portWindow{fw, lw + 1})
+	}
+	m.vectorArithOps += int64(vl)
+	m.vectorOps += int64(vl)
+	return true, 0
+}
+
+func (m *Machine) dispatchVectorMem(c *context, d *isa.DynInst, info isa.Info, commit bool) (bool, Cycle) {
+	now := m.now
+	vl := int(d.VL)
+
+	if m.ld.freeAt > now {
+		return false, m.ld.freeAt
+	}
+	if pf := m.mem.PortFreeAt(info.Load); pf > now {
+		return false, pf
+	}
+
+	// Base-address register (loads/stores carry it; structural read).
+	for _, o := range [...]isa.Operand{d.Src1, d.Src2} {
+		if o.Class == isa.ClassA {
+			if ok, r := c.scalarReady(o, now); !ok {
+				return false, r
+			}
+		}
+	}
+
+	// Vector sources: store data and gather/scatter index registers.
+	var srcBuf [2]uint8
+	n := d.Inst.VSources(&srcBuf)
+	srcs := srcBuf[:n]
+	for _, r := range srcs {
+		if ok, retry := chainReady(&c.vregs[r], now); !ok {
+			return false, retry
+		}
+	}
+	s := now
+
+	var dv *vregState
+	if info.Load {
+		dv = &c.vregs[d.Dst.Reg]
+		if ok, retry := destFree(dv, now); !ok {
+			return false, retry
+		}
+	}
+
+	start, firstData, busyFor := m.mem.ProbeVector(s, vl, d.Stride, info.Load)
+	readEnd := start + busyFor
+	var fw, lw Cycle
+	if info.Load {
+		fw = firstData + Cycle(m.lat.VectorStartup+m.lat.WriteXbar)
+		lw = fw + busyFor - 1
+	}
+
+	if ok, retry := c.checkBankReads(srcs, start, readEnd); !ok {
+		return false, retry
+	}
+	if info.Load {
+		ok, retry := c.banks[isa.VBank(d.Dst.Reg)].writePortFree(fw, lw+1)
+		if !ok {
+			return false, retry
+		}
+	}
+
+	if !commit {
+		return true, 0
+	}
+
+	m.mem.ScheduleVector(s, vl, d.Stride, info.Load)
+	m.ld.freeAt = start + busyFor
+	m.tl.AddBusy(stats.UnitLD, start, start+busyFor)
+	c.commitReads(srcs, start, readEnd, now)
+	if info.Load {
+		dv.wFirst, dv.wLast, dv.chainable = fw, lw, false
+		bank := &c.banks[isa.VBank(d.Dst.Reg)]
+		bank.prune(now)
+		bank.writes = append(bank.writes, portWindow{fw, lw + 1})
+	}
+	m.vectorOps += int64(vl)
+	return true, 0
+}

@@ -1,0 +1,371 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Tables 1-3, Figures 4-12) plus the ablation studies listed
+// in DESIGN.md. Each experiment runs against a shared Env that memoizes
+// workload builds and simulation runs, because several figures share the
+// same underlying data (Figures 6-8 share the grouped runs; Figures 10
+// and 12 share the job-queue sweeps).
+package experiments
+
+import (
+	"fmt"
+
+	"mtvec/internal/core"
+	"mtvec/internal/memsys"
+	"mtvec/internal/prog"
+	"mtvec/internal/sched"
+	"mtvec/internal/stats"
+	"mtvec/internal/workload"
+)
+
+// Env caches workloads and simulation results for one reproduction scale.
+type Env struct {
+	Scale float64
+
+	workloads map[string]*workload.Workload
+	refs      map[refKey]*stats.Report
+	queues    map[queueKey]*stats.Report
+	grouped   []GroupedRun
+}
+
+// NewEnv creates an environment at the given workload scale.
+func NewEnv(scale float64) *Env {
+	return &Env{
+		Scale:     scale,
+		workloads: make(map[string]*workload.Workload),
+		refs:      make(map[refKey]*stats.Report),
+		queues:    make(map[queueKey]*stats.Report),
+	}
+}
+
+type refKey struct {
+	short   string
+	latency int
+}
+
+// W builds (once) and returns the workload with the given short tag.
+func (e *Env) W(short string) (*workload.Workload, error) {
+	if w, ok := e.workloads[short]; ok {
+		return w, nil
+	}
+	spec := workload.ByShort(short)
+	if spec == nil {
+		return nil, fmt.Errorf("experiments: unknown workload %q", short)
+	}
+	w, err := spec.Build(e.Scale)
+	if err != nil {
+		return nil, err
+	}
+	e.workloads[short] = w
+	return w, nil
+}
+
+// refConfig is the reference architecture at the given memory latency.
+func refConfig(latency int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mem.Latency = latency
+	return cfg
+}
+
+// RefReport runs (once) the program alone on the reference architecture.
+func (e *Env) RefReport(short string, latency int) (*stats.Report, error) {
+	k := refKey{short, latency}
+	if r, ok := e.refs[k]; ok {
+		return r, nil
+	}
+	w, err := e.W(short)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(refConfig(latency))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetThreadStream(0, short, w.Stream()); err != nil {
+		return nil, err
+	}
+	rep, err := m.Run(core.Stop{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reference run of %s: %w", short, err)
+	}
+	e.refs[k] = rep
+	return rep, nil
+}
+
+// RefCycles is the reference execution time C_i of Section 4.1.
+func (e *Env) RefCycles(short string, latency int) (int64, error) {
+	r, err := e.RefReport(short, latency)
+	if err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}
+
+// RefPartialCycles is F_i of Section 4.1: reference cycles to reach the
+// given dynamic-instruction index.
+func (e *Env) RefPartialCycles(short string, latency int, insts int64) (int64, error) {
+	if insts <= 0 {
+		return 0, nil
+	}
+	w, err := e.W(short)
+	if err != nil {
+		return 0, err
+	}
+	m, err := core.New(refConfig(latency))
+	if err != nil {
+		return 0, err
+	}
+	if err := m.SetThreadStream(0, short, w.Stream()); err != nil {
+		return 0, err
+	}
+	rep, err := m.Run(core.Stop{MaxThread0Insts: insts})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Cycles, nil
+}
+
+// QueueSpec selects one Section 7 job-queue run: all ten programs in the
+// paper's fixed order, threads pulling the next job as they finish.
+type QueueSpec struct {
+	Contexts   int
+	Latency    int
+	Xbar       int // read/write crossbar latency (Section 8; default 2)
+	DualScalar bool
+	Policy     string // "" = unfair
+	IssueWidth int    // 0 -> 1
+
+	LoadPorts  int // Cray-like extension ports (0 for the paper machine)
+	StorePorts int
+	Banks      int // banked-memory extension (0 = conflict-free)
+	BankBusy   int
+
+	RecordSpans bool
+}
+
+type queueKey struct {
+	contexts, latency, xbar int
+	dual                    bool
+	policy                  string
+	issueWidth              int
+	loadPorts, storePorts   int
+	banks, bankBusy         int
+	spans                   bool
+}
+
+func (s QueueSpec) key() queueKey {
+	return queueKey{
+		s.Contexts, s.Latency, s.Xbar, s.DualScalar, s.Policy,
+		s.IssueWidth, s.LoadPorts, s.StorePorts, s.Banks, s.BankBusy,
+		s.RecordSpans,
+	}
+}
+
+func (s QueueSpec) config() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.Contexts = s.Contexts
+	cfg.Mem.Latency = s.Latency
+	if s.Xbar > 0 {
+		cfg.Lat.ReadXbar, cfg.Lat.WriteXbar = s.Xbar, s.Xbar
+	}
+	cfg.DualScalar = s.DualScalar
+	if s.Policy != "" {
+		p := sched.ByName(s.Policy)
+		if p == nil {
+			return cfg, fmt.Errorf("experiments: unknown policy %q", s.Policy)
+		}
+		cfg.Policy = p
+	}
+	if s.IssueWidth > 0 {
+		cfg.IssueWidth = s.IssueWidth
+	}
+	if s.LoadPorts > 0 || s.StorePorts > 0 {
+		cfg.Mem = memsys.Config{
+			Latency:    s.Latency,
+			LoadPorts:  s.LoadPorts,
+			StorePorts: s.StorePorts,
+		}
+	}
+	if s.Banks > 0 {
+		cfg.Mem.Banks, cfg.Mem.BankBusy = s.Banks, s.BankBusy
+	}
+	cfg.RecordSpans = s.RecordSpans
+	return cfg, nil
+}
+
+// QueueRun executes (once) the ten-program job queue under the spec.
+func (e *Env) QueueRun(s QueueSpec) (*stats.Report, error) {
+	k := s.key()
+	if r, ok := e.queues[k]; ok {
+		return r, nil
+	}
+	cfg, err := s.config()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	q := core.NewJobQueue()
+	for _, spec := range workload.QueueOrder() {
+		w, err := e.W(spec.Short)
+		if err != nil {
+			return nil, err
+		}
+		name := spec.Short
+		q.Add(name, func() *prog.Stream { return w.Stream() })
+	}
+	src := q.Source()
+	for i := 0; i < cfg.Contexts; i++ {
+		if err := m.SetThread(i, src); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := m.Run(core.Stop{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: queue run (%d ctx, lat %d): %w", s.Contexts, s.Latency, err)
+	}
+	e.queues[k] = rep
+	return rep, nil
+}
+
+// SuiteDemand merges the ten programs' demand statistics (for the IDEAL
+// bound).
+func (e *Env) SuiteDemand() (prog.Stats, error) {
+	var merged prog.Stats
+	for _, spec := range workload.QueueOrder() {
+		w, err := e.W(spec.Short)
+		if err != nil {
+			return merged, err
+		}
+		merged.Merge(&w.Stats)
+	}
+	return merged, nil
+}
+
+// GroupedRun is one Section 4.1 grouped simulation: the primary program
+// on thread 0 with restarting companions, plus the derived metrics.
+type GroupedRun struct {
+	Primary    string
+	Companions []string
+	Contexts   int
+
+	Rep     *stats.Report
+	Speedup float64
+
+	RefOcc  float64 // tuple's memory-port occupation run sequentially on the reference machine
+	RefVOPC float64
+}
+
+// GroupedRuns produces (once) the full Table 2 experiment set: for every
+// program, 5 two-thread, 10 three-thread and 10 four-thread groupings at
+// 50-cycle memory latency.
+func (e *Env) GroupedRuns() ([]GroupedRun, error) {
+	if e.grouped != nil {
+		return e.grouped, nil
+	}
+	const latency = 50
+	g := workload.DefaultGroupings()
+	var runs []GroupedRun
+
+	for _, primary := range workload.Specs() {
+		// 2 threads: primary + each column-2 program.
+		for _, c2 := range g.Col2 {
+			runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short}})
+		}
+		// 3 threads: primary + col2 + col3.
+		for _, c2 := range g.Col2 {
+			for _, c3 := range g.Col3 {
+				runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short, c3.Short}})
+			}
+		}
+		// 4 threads: primary + col2 + col3 + col4.
+		for _, c2 := range g.Col2 {
+			for _, c3 := range g.Col3 {
+				for _, c4 := range g.Col4 {
+					runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short, c3.Short, c4.Short}})
+				}
+			}
+		}
+	}
+
+	for i := range runs {
+		if err := e.runGrouped(&runs[i], latency); err != nil {
+			return nil, err
+		}
+	}
+	e.grouped = runs
+	return runs, nil
+}
+
+func (e *Env) runGrouped(r *GroupedRun, latency int) error {
+	r.Contexts = 1 + len(r.Companions)
+	cfg := refConfig(latency)
+	cfg.Contexts = r.Contexts
+	m, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	pw, err := e.W(r.Primary)
+	if err != nil {
+		return err
+	}
+	if err := m.SetThreadStream(0, r.Primary, pw.Stream()); err != nil {
+		return err
+	}
+	for i, comp := range r.Companions {
+		cw, err := e.W(comp)
+		if err != nil {
+			return err
+		}
+		if err := m.SetThread(i+1, core.Repeat(comp, func() *prog.Stream { return cw.Stream() })); err != nil {
+			return err
+		}
+	}
+	rep, err := m.Run(core.Stop{Thread0Complete: true})
+	if err != nil {
+		return fmt.Errorf("grouped run %s+%v: %w", r.Primary, r.Companions, err)
+	}
+	r.Rep = rep
+
+	// Section 4.1 speedup: reference work for exactly what the
+	// multithreaded machine completed.
+	refWork, err := e.RefCycles(r.Primary, latency)
+	if err != nil {
+		return err
+	}
+	for i, comp := range r.Companions {
+		th := rep.Threads[i+1]
+		full, err := e.RefCycles(comp, latency)
+		if err != nil {
+			return err
+		}
+		// Completions counts finished runs; the current unfinished run
+		// contributes its partial reference time.
+		refWork += th.Completions * full
+		partial, err := e.RefPartialCycles(comp, latency, th.PartialInsts)
+		if err != nil {
+			return err
+		}
+		refWork += partial
+	}
+	r.Speedup = stats.Speedup(refWork, rep.Cycles)
+
+	// Sequential-reference tuple metrics for Figures 7 and 8.
+	var busy, cycles, arith int64
+	members := append([]string{r.Primary}, r.Companions...)
+	for _, mname := range members {
+		rr, err := e.RefReport(mname, latency)
+		if err != nil {
+			return err
+		}
+		busy += rr.MemBusyCycles
+		cycles += rr.Cycles
+		arith += rr.VectorArithOps
+	}
+	if cycles > 0 {
+		r.RefOcc = float64(busy) / float64(cycles)
+		r.RefVOPC = float64(arith) / float64(cycles)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding of static instructions, used by the trace container.
+// Layout: op(1) dst(2) src1(2) src2(2) imm(zigzag varint). Operands encode
+// as class(1) reg(1).
+
+// AppendInst appends the binary encoding of in to b.
+func AppendInst(b []byte, in Inst) []byte {
+	b = append(b, byte(in.Op))
+	b = appendOperand(b, in.Dst)
+	b = appendOperand(b, in.Src1)
+	b = appendOperand(b, in.Src2)
+	b = binary.AppendVarint(b, in.Imm)
+	return b
+}
+
+func appendOperand(b []byte, o Operand) []byte {
+	return append(b, byte(o.Class), o.Reg)
+}
+
+// DecodeInst decodes one instruction from b, returning it and the number
+// of bytes consumed.
+func DecodeInst(b []byte) (Inst, int, error) {
+	var in Inst
+	if len(b) < 7 {
+		return in, 0, fmt.Errorf("isa: truncated instruction encoding")
+	}
+	in.Op = Op(b[0])
+	if in.Op >= NumOps {
+		return in, 0, fmt.Errorf("isa: invalid opcode %d", b[0])
+	}
+	in.Dst = Operand{RegClass(b[1]), b[2]}
+	in.Src1 = Operand{RegClass(b[3]), b[4]}
+	in.Src2 = Operand{RegClass(b[5]), b[6]}
+	imm, n := binary.Varint(b[7:])
+	if n <= 0 {
+		return in, 0, fmt.Errorf("isa: truncated immediate")
+	}
+	in.Imm = imm
+	if err := in.Validate(); err != nil {
+		return in, 0, err
+	}
+	return in, 7 + n, nil
+}

@@ -1,0 +1,96 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomValidInst builds a random well-formed instruction.
+func randomValidInst(r *rand.Rand) Inst {
+	ops := []Inst{
+		{Op: OpNop},
+		{Op: OpMovI, Dst: S(uint8(r.Intn(NumS))), Src2: Imm(), Imm: r.Int63n(1 << 40)},
+		{Op: OpAAdd, Dst: A(uint8(r.Intn(NumA))), Src1: A(uint8(r.Intn(NumA))), Src2: Imm(), Imm: int64(r.Intn(4096) - 2048)},
+		{Op: OpSAdd, Dst: S(uint8(r.Intn(NumS))), Src1: S(uint8(r.Intn(NumS))), Src2: S(uint8(r.Intn(NumS)))},
+		{Op: OpSLoad, Dst: S(uint8(r.Intn(NumS))), Src1: A(uint8(r.Intn(NumA)))},
+		{Op: OpSStore, Src1: S(uint8(r.Intn(NumS))), Src2: A(uint8(r.Intn(NumA)))},
+		{Op: OpBr, Src1: S(uint8(r.Intn(NumS)))},
+		{Op: OpSetVL, Src1: A(uint8(r.Intn(NumA)))},
+		{Op: OpVAdd, Dst: V(uint8(r.Intn(NumV))), Src1: V(uint8(r.Intn(NumV))), Src2: V(uint8(r.Intn(NumV)))},
+		{Op: OpVMulS, Dst: V(uint8(r.Intn(NumV))), Src1: V(uint8(r.Intn(NumV))), Src2: S(uint8(r.Intn(NumS)))},
+		{Op: OpVLoad, Dst: V(uint8(r.Intn(NumV))), Src1: A(uint8(r.Intn(NumA)))},
+		{Op: OpVStore, Src1: V(uint8(r.Intn(NumV))), Src2: A(uint8(r.Intn(NumA)))},
+	}
+	return ops[r.Intn(len(ops))]
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		in := randomValidInst(r)
+		b := AppendInst(nil, in)
+		got, n, err := DecodeInst(b)
+		if err != nil {
+			t.Fatalf("decode(%s): %v", in, err)
+		}
+		if n != len(b) {
+			t.Fatalf("decode(%s) consumed %d of %d bytes", in, n, len(b))
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	// Property: round-trip through the codec is the identity on valid
+	// instructions, regardless of how they are concatenated.
+	f := func(seed int64, count uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(count%16) + 1
+		insts := make([]Inst, n)
+		var buf []byte
+		for i := range insts {
+			insts[i] = randomValidInst(r)
+			buf = AppendInst(buf, insts[i])
+		}
+		for i := 0; i < n; i++ {
+			in, used, err := DecodeInst(buf)
+			if err != nil || !reflect.DeepEqual(in, insts[i]) {
+				return false
+			}
+			buf = buf[used:]
+		}
+		return len(buf) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeInst(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := DecodeInst([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated input accepted")
+	}
+	if _, _, err := DecodeInst([]byte{255, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	// Valid opcode, malformed operand classes.
+	b := []byte{byte(OpVAdd), byte(ClassS), 0, byte(ClassV), 1, byte(ClassV), 2, 0}
+	if _, _, err := DecodeInst(b); err == nil {
+		t.Error("semantically invalid instruction accepted")
+	}
+}
+
+func TestDecodeTruncatedImmediate(t *testing.T) {
+	in := Inst{Op: OpMovI, Dst: S(0), Src2: Imm(), Imm: 1 << 50}
+	b := AppendInst(nil, in)
+	if _, _, err := DecodeInst(b[:len(b)-2]); err == nil {
+		t.Error("truncated immediate accepted")
+	}
+}

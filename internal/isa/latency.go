@@ -1,0 +1,97 @@
+package isa
+
+import "fmt"
+
+// LatencyTable reproduces Table 1 of the paper: per-latency-class
+// functional-unit latencies for the scalar unit (integer and floating point
+// columns) and the vector units, plus the vector start-up cost and the
+// vector register file read/write crossbar latencies.
+//
+// Memory latency is deliberately absent: the paper varies it as the central
+// experimental parameter, so it lives in the machine configuration.
+type LatencyTable struct {
+	ScalarInt [numLatClass]int
+	ScalarFP  [numLatClass]int
+	Vector    [numLatClass]int
+
+	// VectorStartup is charged once at the head of every vector
+	// instruction's pipeline.
+	VectorStartup int
+
+	// ReadXbar / WriteXbar are the vector register file crossbar
+	// traversal latencies. The reference machine uses 2 cycles each;
+	// Section 8 studies charging the multithreaded machine 3.
+	ReadXbar  int
+	WriteXbar int
+}
+
+// DefaultLatencies returns the Table 1 reconstruction documented in
+// DESIGN.md. All values are in processor cycles.
+func DefaultLatencies() LatencyTable {
+	var t LatencyTable
+	t.ScalarInt[LatAdd] = 1
+	t.ScalarInt[LatLogic] = 1
+	t.ScalarInt[LatShift] = 1
+	t.ScalarInt[LatMul] = 5
+	t.ScalarInt[LatDiv] = 34
+	t.ScalarInt[LatSqrt] = 34
+	t.ScalarInt[LatCtl] = 1
+
+	t.ScalarFP[LatAdd] = 2
+	t.ScalarFP[LatLogic] = 1
+	t.ScalarFP[LatShift] = 1
+	t.ScalarFP[LatMul] = 2
+	t.ScalarFP[LatDiv] = 9
+	t.ScalarFP[LatSqrt] = 9
+	t.ScalarFP[LatCtl] = 1
+
+	t.Vector[LatAdd] = 4
+	t.Vector[LatLogic] = 4
+	t.Vector[LatShift] = 4
+	t.Vector[LatMul] = 7
+	t.Vector[LatDiv] = 20
+	t.Vector[LatSqrt] = 20
+
+	t.VectorStartup = 1
+	t.ReadXbar = 2
+	t.WriteXbar = 2
+	return t
+}
+
+// Scalar returns the scalar-unit latency for op (1 cycle minimum).
+func (t *LatencyTable) Scalar(op Op) int {
+	info := InfoOf(op)
+	var l int
+	if info.FP {
+		l = t.ScalarFP[info.Lat]
+	} else {
+		l = t.ScalarInt[info.Lat]
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// VectorFU returns the vector functional-unit latency for op. Memory
+// latency is not included; the memory system owns it.
+func (t *LatencyTable) VectorFU(op Op) int {
+	l := t.Vector[InfoOf(op).Lat]
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Validate reports a configuration error, if any.
+func (t *LatencyTable) Validate() error {
+	if t.VectorStartup < 0 || t.ReadXbar < 0 || t.WriteXbar < 0 {
+		return fmt.Errorf("isa: negative startup/crossbar latency")
+	}
+	for c := LatClass(1); c < numLatClass; c++ {
+		if t.ScalarInt[c] < 0 || t.ScalarFP[c] < 0 || t.Vector[c] < 0 {
+			return fmt.Errorf("isa: negative latency for class %v", c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package isa
+
+import "testing"
+
+func TestDefaultLatenciesValid(t *testing.T) {
+	lt := DefaultLatencies()
+	if err := lt.Validate(); err != nil {
+		t.Fatalf("default table invalid: %v", err)
+	}
+}
+
+func TestDefaultLatenciesPaperProperties(t *testing.T) {
+	lt := DefaultLatencies()
+	// Section 3.1: vector latencies exceed scalar latencies for every
+	// class except division and square root.
+	for _, c := range []LatClass{LatAdd, LatLogic, LatShift, LatMul} {
+		if lt.Vector[c] <= lt.ScalarFP[c] && lt.Vector[c] <= lt.ScalarInt[c] {
+			t.Errorf("class %v: vector latency %d should exceed scalar (%d int / %d fp)",
+				c, lt.Vector[c], lt.ScalarInt[c], lt.ScalarFP[c])
+		}
+	}
+	for _, c := range []LatClass{LatDiv, LatSqrt} {
+		// Vector div/sqrt undercut at least the scalar integer column.
+		if lt.Vector[c] >= lt.ScalarInt[c] {
+			t.Errorf("class %v: vector %d should undercut scalar int %d", c, lt.Vector[c], lt.ScalarInt[c])
+		}
+	}
+	if lt.ReadXbar != 2 || lt.WriteXbar != 2 {
+		t.Errorf("reference crossbars should default to 2 cycles, got %d/%d", lt.ReadXbar, lt.WriteXbar)
+	}
+}
+
+func TestScalarLatencySelectsColumn(t *testing.T) {
+	lt := DefaultLatencies()
+	if lt.Scalar(OpSAddI) != 1 {
+		t.Errorf("int add = %d, want 1", lt.Scalar(OpSAddI))
+	}
+	if lt.Scalar(OpSAdd) != 2 {
+		t.Errorf("fp add = %d, want 2", lt.Scalar(OpSAdd))
+	}
+	if lt.Scalar(OpSDivI) != 34 {
+		t.Errorf("int div = %d, want 34", lt.Scalar(OpSDivI))
+	}
+	if lt.Scalar(OpSDiv) != 9 {
+		t.Errorf("fp div = %d, want 9", lt.Scalar(OpSDiv))
+	}
+	// Ops with unset latency classes still take at least a cycle.
+	if lt.Scalar(OpNop) < 1 {
+		t.Error("scalar latency must be >= 1")
+	}
+}
+
+func TestVectorFULatency(t *testing.T) {
+	lt := DefaultLatencies()
+	if lt.VectorFU(OpVAdd) != 4 {
+		t.Errorf("vadd = %d, want 4", lt.VectorFU(OpVAdd))
+	}
+	if lt.VectorFU(OpVMul) != 7 {
+		t.Errorf("vmul = %d, want 7", lt.VectorFU(OpVMul))
+	}
+	if lt.VectorFU(OpVDiv) != 20 {
+		t.Errorf("vdiv = %d, want 20", lt.VectorFU(OpVDiv))
+	}
+	if lt.VectorFU(OpVLoad) < 1 {
+		t.Error("vector FU latency must be >= 1")
+	}
+}
+
+func TestValidateCatchesNegatives(t *testing.T) {
+	lt := DefaultLatencies()
+	lt.ReadXbar = -1
+	if lt.Validate() == nil {
+		t.Error("negative crossbar latency accepted")
+	}
+	lt = DefaultLatencies()
+	lt.Vector[LatMul] = -3
+	if lt.Validate() == nil {
+		t.Error("negative vector latency accepted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package kernel is the loop-nest intermediate representation the
+// synthetic workloads are written in: a "little Fortran" of vectorizable
+// loops over arrays, indexed (gather/scatter) accesses, reductions and
+// non-vectorizable scalar loops.
+//
+// The paper's benchmarks were real Perfect Club / SPECfp92 programs
+// compiled by the Convex Fortran compiler; here each benchmark is a small
+// set of kernels in this IR, compiled by internal/vcomp into ISA programs
+// and calibrated by internal/workload to match Table 3.
+package kernel
+
+import "fmt"
+
+// Array names a memory operand: a base address and the byte stride between
+// consecutive elements as the loop walks it (8 for row walks, the row size
+// for column walks of a matrix).
+type Array struct {
+	Name   string
+	Base   uint64
+	Stride int64
+}
+
+// Expr is a vectorizable expression tree evaluated element-wise.
+type Expr interface {
+	expr()
+	// Walk visits the node and its children in evaluation order.
+	Walk(func(Expr))
+}
+
+// Ref reads Arr at the loop index: Arr[i].
+type Ref struct{ Arr *Array }
+
+// Gather reads Data at positions given by Index: Data[Index[i]].
+type Gather struct{ Data, Index *Array }
+
+// ScalarArg is a loop-invariant scalar broadcast from an S register.
+type ScalarArg struct{ Name string }
+
+// BinOp enumerates element-wise binary operators.
+type BinOp uint8
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	And
+	Or
+	Xor
+	CmpGT
+	Merge
+)
+
+var binOpNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", And: "&", Or: "|", Xor: "^",
+	CmpGT: ">", Merge: "?:",
+}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("BinOp(%d)", uint8(op))
+}
+
+// Bin applies Op element-wise to L and R.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp enumerates element-wise unary operators.
+type UnOp uint8
+
+const (
+	Sqrt UnOp = iota
+	Shl
+	Shr
+)
+
+var unOpNames = [...]string{Sqrt: "sqrt", Shl: "<<", Shr: ">>"}
+
+func (op UnOp) String() string {
+	if int(op) < len(unOpNames) {
+		return unOpNames[op]
+	}
+	return fmt.Sprintf("UnOp(%d)", uint8(op))
+}
+
+// Un applies Op element-wise to X.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+func (*Ref) expr()       {}
+func (*Gather) expr()    {}
+func (*ScalarArg) expr() {}
+func (*Bin) expr()       {}
+func (*Un) expr()        {}
+
+func (e *Ref) Walk(f func(Expr))       { f(e) }
+func (e *Gather) Walk(f func(Expr))    { f(e) }
+func (e *ScalarArg) Walk(f func(Expr)) { f(e) }
+func (e *Bin) Walk(f func(Expr)) {
+	e.L.Walk(f)
+	e.R.Walk(f)
+	f(e)
+}
+func (e *Un) Walk(f func(Expr)) {
+	e.X.Walk(f)
+	f(e)
+}
+
+// Stmt is one statement of a vector loop body. Exactly one of the three
+// destination forms is used:
+//
+//   - Dst != nil, ScatterIdx == nil:  Dst[i] = E
+//   - Dst != nil, ScatterIdx != nil:  Dst[ScatterIdx[i]] = E
+//   - Reduce != "":                   scalar Reduce += E (sum reduction)
+type Stmt struct {
+	Dst        *Array
+	ScatterIdx *Array
+	Reduce     string
+	E          Expr
+}
+
+// VectorLoop is a 1-dimensional vectorizable loop; the trip count is
+// supplied at invocation time (internal/vcomp strip-mines it by MaxVL).
+type VectorLoop struct {
+	Name string
+	Body []Stmt
+}
+
+// ScalarLoop is a non-vectorizable loop described by its per-iteration
+// operation mix; internal/vcomp lowers it to a representative scalar
+// basic block. Trip count is supplied at invocation time.
+type ScalarLoop struct {
+	Name   string
+	Loads  int
+	Stores int
+	IntOps int
+	FPOps  int
+	FPDivs int
+}
+
+// Unit is one loop of a kernel: a VectorLoop or a ScalarLoop.
+type Unit interface {
+	unit()
+	UnitName() string
+	Validate() error
+}
+
+func (l *VectorLoop) unit() {}
+func (l *ScalarLoop) unit() {}
+
+func (l *VectorLoop) UnitName() string { return l.Name }
+func (l *ScalarLoop) UnitName() string { return l.Name }
+
+// Kernel is a named straight-line sequence of loops. Dynamic behaviour
+// (trip counts, repetitions) is supplied by the invocation schedule at
+// trace-generation time.
+type Kernel struct {
+	Name  string
+	Units []Unit
+}
+
+// Validate checks structural well-formedness.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("kernel: kernel has no name")
+	}
+	if len(k.Units) == 0 {
+		return fmt.Errorf("kernel: %s: no units", k.Name)
+	}
+	seen := make(map[string]bool)
+	for _, u := range k.Units {
+		if u.UnitName() == "" {
+			return fmt.Errorf("kernel: %s: unit has no name", k.Name)
+		}
+		if seen[u.UnitName()] {
+			return fmt.Errorf("kernel: %s: duplicate unit name %q", k.Name, u.UnitName())
+		}
+		seen[u.UnitName()] = true
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("kernel: %s: %w", k.Name, err)
+		}
+	}
+	return nil
+}
+
+// Validate checks the loop body.
+func (l *VectorLoop) Validate() error {
+	if len(l.Body) == 0 {
+		return fmt.Errorf("%s: empty vector loop body", l.Name)
+	}
+	for i, st := range l.Body {
+		forms := 0
+		if st.Dst != nil {
+			forms++
+		}
+		if st.Reduce != "" {
+			forms++
+		}
+		if forms != 1 {
+			return fmt.Errorf("%s: stmt %d: need exactly one of Dst or Reduce", l.Name, i)
+		}
+		if st.ScatterIdx != nil && st.Dst == nil {
+			return fmt.Errorf("%s: stmt %d: ScatterIdx without Dst", l.Name, i)
+		}
+		if st.E == nil {
+			return fmt.Errorf("%s: stmt %d: nil expression", l.Name, i)
+		}
+		var bad error
+		st.E.Walk(func(e Expr) {
+			switch n := e.(type) {
+			case *Ref:
+				if n.Arr == nil {
+					bad = fmt.Errorf("%s: stmt %d: Ref with nil array", l.Name, i)
+				}
+			case *Gather:
+				if n.Data == nil || n.Index == nil {
+					bad = fmt.Errorf("%s: stmt %d: Gather with nil arrays", l.Name, i)
+				}
+			case *ScalarArg:
+				if n.Name == "" {
+					bad = fmt.Errorf("%s: stmt %d: unnamed scalar argument", l.Name, i)
+				}
+			}
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+// Validate checks the operation mix.
+func (l *ScalarLoop) Validate() error {
+	if l.Loads < 0 || l.Stores < 0 || l.IntOps < 0 || l.FPOps < 0 || l.FPDivs < 0 {
+		return fmt.Errorf("%s: negative operation count", l.Name)
+	}
+	if l.Loads+l.Stores+l.IntOps+l.FPOps+l.FPDivs == 0 {
+		return fmt.Errorf("%s: empty scalar loop body", l.Name)
+	}
+	return nil
+}
+
+// Arrays returns every distinct array the unit touches, in first-use order.
+func (l *VectorLoop) Arrays() []*Array {
+	var out []*Array
+	seen := make(map[*Array]bool)
+	add := func(a *Array) {
+		if a != nil && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, st := range l.Body {
+		st.E.Walk(func(e Expr) {
+			switch n := e.(type) {
+			case *Ref:
+				add(n.Arr)
+			case *Gather:
+				add(n.Index)
+				add(n.Data)
+			}
+		})
+		add(st.ScatterIdx)
+		add(st.Dst)
+	}
+	return out
+}

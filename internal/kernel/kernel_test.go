@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func arr(name string) *Array { return &Array{Name: name, Base: 0x1000, Stride: 8} }
+
+func axpyLoop() *VectorLoop {
+	x, y := arr("x"), arr("y")
+	return &VectorLoop{
+		Name: "axpy",
+		Body: []Stmt{{
+			Dst: y,
+			E:   &Bin{Op: Add, L: &Bin{Op: Mul, L: &ScalarArg{Name: "a"}, R: &Ref{Arr: x}}, R: &Ref{Arr: y}},
+		}},
+	}
+}
+
+func TestValidateGoodKernel(t *testing.T) {
+	k := &Kernel{Name: "k", Units: []Unit{
+		axpyLoop(),
+		&ScalarLoop{Name: "sweep", Loads: 2, Stores: 1, IntOps: 2, FPOps: 1},
+	}}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	x := arr("x")
+	cases := []struct {
+		name string
+		k    *Kernel
+		want string
+	}{
+		{"noname", &Kernel{Units: []Unit{axpyLoop()}}, "no name"},
+		{"nounits", &Kernel{Name: "k"}, "no units"},
+		{"dupunit", &Kernel{Name: "k", Units: []Unit{axpyLoop(), axpyLoop()}}, "duplicate"},
+		{"emptyvec", &Kernel{Name: "k", Units: []Unit{&VectorLoop{Name: "v"}}}, "empty vector loop"},
+		{"bothdst", &Kernel{Name: "k", Units: []Unit{&VectorLoop{Name: "v", Body: []Stmt{
+			{Dst: x, Reduce: "s", E: &Ref{Arr: x}},
+		}}}}, "exactly one"},
+		{"nodst", &Kernel{Name: "k", Units: []Unit{&VectorLoop{Name: "v", Body: []Stmt{
+			{E: &Ref{Arr: x}},
+		}}}}, "exactly one"},
+		{"nilexpr", &Kernel{Name: "k", Units: []Unit{&VectorLoop{Name: "v", Body: []Stmt{
+			{Dst: x},
+		}}}}, "nil expression"},
+		{"nilref", &Kernel{Name: "k", Units: []Unit{&VectorLoop{Name: "v", Body: []Stmt{
+			{Dst: x, E: &Ref{}},
+		}}}}, "nil array"},
+		{"scatterwithoutdst", &Kernel{Name: "k", Units: []Unit{&VectorLoop{Name: "v", Body: []Stmt{
+			{Reduce: "r", ScatterIdx: x, E: &Ref{Arr: x}},
+		}}}}, "ScatterIdx"},
+		{"emptyscalar", &Kernel{Name: "k", Units: []Unit{&ScalarLoop{Name: "s"}}}, "empty scalar loop"},
+		{"negscalar", &Kernel{Name: "k", Units: []Unit{&ScalarLoop{Name: "s", Loads: -1}}}, "negative"},
+	}
+	for _, c := range cases {
+		err := c.k.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	// Walk visits children before parents (evaluation order).
+	x, y := arr("x"), arr("y")
+	e := &Bin{Op: Add, L: &Ref{Arr: x}, R: &Un{Op: Sqrt, X: &Ref{Arr: y}}}
+	var order []string
+	e.Walk(func(n Expr) {
+		switch v := n.(type) {
+		case *Ref:
+			order = append(order, v.Arr.Name)
+		case *Un:
+			order = append(order, "sqrt")
+		case *Bin:
+			order = append(order, "add")
+		}
+	})
+	want := "x y sqrt add"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("walk order = %q, want %q", got, want)
+	}
+}
+
+func TestArraysFirstUseOrder(t *testing.T) {
+	x, y, z, idx := arr("x"), arr("y"), arr("z"), arr("idx")
+	l := &VectorLoop{Name: "v", Body: []Stmt{
+		{Dst: z, E: &Bin{Op: Add, L: &Ref{Arr: x}, R: &Gather{Data: y, Index: idx}}},
+		{Dst: x, E: &Ref{Arr: x}}, // repeats: no duplicates
+	}}
+	got := l.Arrays()
+	want := []string{"x", "idx", "y", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Arrays() = %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i] {
+			t.Errorf("Arrays()[%d] = %s, want %s", i, got[i].Name, want[i])
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if Add.String() != "+" || Div.String() != "/" || Sqrt.String() != "sqrt" {
+		t.Error("operator names wrong")
+	}
+	if BinOp(200).String() == "" || UnOp(200).String() == "" {
+		t.Error("out-of-range ops should still print")
+	}
+}

@@ -1,0 +1,264 @@
+// Package memsys models the main-memory subsystem of Section 3.1: a
+// single address bus shared by all memory transactions (scalar/vector,
+// load/store) with physically separate data buses for sending and
+// receiving, and a configurable main-memory latency — the paper's central
+// experimental parameter.
+//
+// A vector load (or gather) issues one request per cycle over the address
+// bus, pays the latency once, and then receives one datum per cycle.
+// Vector stores occupy the bus the same way but complete without waiting.
+//
+// Two extensions beyond the paper are provided as ablations: multiple
+// address ports (the Cray-like 2-load/1-store future work of Section 10)
+// and a banked memory with bank-conflict stalls (the paper assumes a
+// conflict-free memory).
+package memsys
+
+import "fmt"
+
+// Cycle counts processor cycles.
+type Cycle = int64
+
+// Config selects the memory system's shape.
+type Config struct {
+	// Latency is the main-memory access time in cycles (the paper
+	// varies it from 1 to 100; 50 is the default elsewhere).
+	Latency int
+
+	// ScalarLatency is the completion latency of scalar accesses. The
+	// Convex C34 series gave the scalar unit a small data cache, and the
+	// paper's own numbers require scalar loops to run near one
+	// instruction per cycle (Section 6.2), so scalar accesses complete
+	// quickly while still spending an address-bus cycle. Zero means
+	// "same as Latency" (no scalar cache).
+	ScalarLatency int
+
+	// GeneralPorts is the number of address ports usable by any
+	// transaction. The paper's machine has exactly one.
+	GeneralPorts int
+
+	// LoadPorts and StorePorts are dedicated ports (the Cray-like
+	// extension: 2 load + 1 store). Zero for the paper's machine.
+	LoadPorts  int
+	StorePorts int
+
+	// Banks > 0 enables the banked-conflict model: strided streams
+	// whose addresses revisit a bank within BankBusy cycles stall the
+	// request stream. Banks == 0 is the paper's conflict-free memory.
+	Banks    int
+	BankBusy int
+}
+
+// DefaultConfig is the paper's memory system at 50-cycle latency with a
+// 4-cycle scalar cache.
+func DefaultConfig() Config {
+	return Config{Latency: 50, ScalarLatency: 4, GeneralPorts: 1}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Latency < 1 {
+		return fmt.Errorf("memsys: latency %d < 1", c.Latency)
+	}
+	if c.ScalarLatency < 0 {
+		return fmt.Errorf("memsys: negative scalar latency %d", c.ScalarLatency)
+	}
+	if c.GeneralPorts+c.LoadPorts < 1 || c.GeneralPorts+c.StorePorts < 1 {
+		return fmt.Errorf("memsys: no port can serve loads or stores")
+	}
+	if c.Banks < 0 || c.BankBusy < 0 {
+		return fmt.Errorf("memsys: negative bank parameters")
+	}
+	if c.Banks > 0 && c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("memsys: banks must be a power of two, have %d", c.Banks)
+	}
+	return nil
+}
+
+// System is the memory subsystem state during one simulation.
+type System struct {
+	cfg Config
+
+	// portFree[i] is the cycle port i next accepts a request. Ports are
+	// ordered: general, load-only, store-only.
+	portFree []Cycle
+
+	busy         int64 // address-port busy cycles (occupation numerator)
+	requests     int64 // memory requests sent
+	loadElems    int64
+	storeElems   int64
+	scalarLoads  int64
+	scalarStores int64
+}
+
+// New creates a memory system. The configuration must validate.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.GeneralPorts + cfg.LoadPorts + cfg.StorePorts
+	return &System{cfg: cfg, portFree: make([]Cycle, n)}, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Ports returns the number of address ports.
+func (s *System) Ports() int { return len(s.portFree) }
+
+// eligible reports whether port i can carry a load/store.
+func (s *System) eligible(i int, load bool) bool {
+	switch {
+	case i < s.cfg.GeneralPorts:
+		return true
+	case i < s.cfg.GeneralPorts+s.cfg.LoadPorts:
+		return load
+	default:
+		return !load
+	}
+}
+
+// pickPort returns the eligible port that frees earliest.
+func (s *System) pickPort(load bool) int {
+	best := -1
+	for i := range s.portFree {
+		if !s.eligible(i, load) {
+			continue
+		}
+		if best < 0 || s.portFree[i] < s.portFree[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// PortFreeAt returns the earliest cycle any port eligible for the access
+// kind accepts a new transaction (dispatch logic uses it to decide
+// whether a thread blocks).
+func (s *System) PortFreeAt(load bool) Cycle {
+	return s.portFree[s.pickPort(load)]
+}
+
+// conflictFactor returns the cycles per element a strided stream
+// sustains: 1 when conflict-free, more when the stride revisits banks
+// within the bank busy time. Gathers (stride 0 by convention here) are
+// assumed spread well enough to run at full rate.
+func (s *System) conflictFactor(strideBytes int64) int64 {
+	if s.cfg.Banks == 0 {
+		return 1
+	}
+	se := strideBytes / 8
+	if se < 0 {
+		se = -se
+	}
+	if se == 0 {
+		return 1
+	}
+	g := gcd(se, int64(s.cfg.Banks))
+	distinct := int64(s.cfg.Banks) / g
+	if distinct >= int64(s.cfg.BankBusy) {
+		return 1
+	}
+	f := (int64(s.cfg.BankBusy) + distinct - 1) / distinct
+	return f
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ProbeVector computes, without booking anything, the schedule
+// ScheduleVector would produce for the same request now.
+func (s *System) ProbeVector(earliest Cycle, n int, strideBytes int64, load bool) (start, firstData, busyFor Cycle) {
+	p := s.pickPort(load)
+	start = max64(earliest, s.portFree[p])
+	busyFor = int64(n) * s.conflictFactor(strideBytes)
+	if load {
+		firstData = start + int64(s.cfg.Latency)
+	}
+	return start, firstData, busyFor
+}
+
+// ScheduleVector books an address port for an n-element vector access
+// starting no earlier than `earliest`. It returns the start cycle, the
+// cycle the first datum is available (loads; meaningless for stores) and
+// the number of cycles the port stays busy.
+func (s *System) ScheduleVector(earliest Cycle, n int, strideBytes int64, load bool) (start, firstData, busyFor Cycle) {
+	p := s.pickPort(load)
+	start = max64(earliest, s.portFree[p])
+	factor := s.conflictFactor(strideBytes)
+	busyFor = int64(n) * factor
+	s.portFree[p] = start + busyFor
+	s.busy += busyFor
+	s.requests += int64(n)
+	if load {
+		s.loadElems += int64(n)
+		firstData = start + int64(s.cfg.Latency)
+	} else {
+		s.storeElems += int64(n)
+	}
+	return start, firstData, busyFor
+}
+
+// scalarLatency resolves the scalar completion time.
+func (s *System) scalarLatency() int64 {
+	if s.cfg.ScalarLatency > 0 {
+		return int64(s.cfg.ScalarLatency)
+	}
+	return int64(s.cfg.Latency)
+}
+
+// ScheduleScalar books one request; for loads, data returns at
+// start+ScalarLatency (start+Latency without a scalar cache).
+func (s *System) ScheduleScalar(earliest Cycle, load bool) (start, data Cycle) {
+	p := s.pickPort(load)
+	start = max64(earliest, s.portFree[p])
+	s.portFree[p] = start + 1
+	s.busy++
+	s.requests++
+	if load {
+		s.scalarLoads++
+		data = start + s.scalarLatency()
+	} else {
+		s.scalarStores++
+	}
+	return start, data
+}
+
+// BusyCycles returns total address-port busy cycles.
+func (s *System) BusyCycles() int64 { return s.busy }
+
+// Requests returns the total memory requests sent over the address bus.
+func (s *System) Requests() int64 { return s.requests }
+
+// Occupation is the paper's memory-port occupation metric: requests sent
+// over the address bus divided by total cycles, per port.
+func (s *System) Occupation(total Cycle) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(total) / float64(len(s.portFree))
+}
+
+// Traffic summarizes the element counts moved.
+type Traffic struct {
+	LoadElems    int64
+	StoreElems   int64
+	ScalarLoads  int64
+	ScalarStores int64
+}
+
+// Traffic returns the access counters.
+func (s *System) Traffic() Traffic {
+	return Traffic{s.loadElems, s.storeElems, s.scalarLoads, s.scalarStores}
+}
+
+func max64(a, b Cycle) Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

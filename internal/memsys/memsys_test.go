@@ -1,0 +1,190 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Latency: 0, GeneralPorts: 1},
+		{Latency: 10},                             // no ports at all
+		{Latency: 10, LoadPorts: 2},               // stores unservable
+		{Latency: 10, StorePorts: 1},              // loads unservable
+		{Latency: 10, GeneralPorts: 1, Banks: 3},  // non-power-of-two
+		{Latency: 10, GeneralPorts: 1, Banks: -4}, // negative
+		{Latency: 10, GeneralPorts: 1, Banks: 8, BankBusy: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	// Dedicated-port-only config is fine if both kinds are covered.
+	ok := Config{Latency: 10, LoadPorts: 2, StorePorts: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("cray-like config rejected: %v", err)
+	}
+}
+
+func TestVectorLoadTiming(t *testing.T) {
+	s := mustNew(t, Config{Latency: 50, GeneralPorts: 1})
+	start, first, busy := s.ScheduleVector(10, 64, 8, true)
+	if start != 10 {
+		t.Errorf("start = %d, want 10", start)
+	}
+	if first != 60 {
+		t.Errorf("first datum = %d, want start+latency = 60", first)
+	}
+	if busy != 64 {
+		t.Errorf("busy = %d, want 64", busy)
+	}
+	// Port is held for 64 cycles: the next access queues behind it.
+	start2, _, _ := s.ScheduleVector(0, 10, 8, false)
+	if start2 != 74 {
+		t.Errorf("second access start = %d, want 74", start2)
+	}
+	if s.BusyCycles() != 74 {
+		t.Errorf("busy cycles = %d, want 74", s.BusyCycles())
+	}
+	if s.Requests() != 74 {
+		t.Errorf("requests = %d, want 74", s.Requests())
+	}
+}
+
+func TestScalarTiming(t *testing.T) {
+	s := mustNew(t, Config{Latency: 20, GeneralPorts: 1})
+	start, data := s.ScheduleScalar(5, true)
+	if start != 5 || data != 25 {
+		t.Errorf("scalar load start=%d data=%d", start, data)
+	}
+	start2, _ := s.ScheduleScalar(5, false)
+	if start2 != 6 {
+		t.Errorf("scalar store start = %d, want 6", start2)
+	}
+	tr := s.Traffic()
+	if tr.ScalarLoads != 1 || tr.ScalarStores != 1 {
+		t.Errorf("traffic %+v", tr)
+	}
+}
+
+func TestOccupation(t *testing.T) {
+	s := mustNew(t, Config{Latency: 1, GeneralPorts: 1})
+	s.ScheduleVector(0, 50, 8, true)
+	if got := s.Occupation(100); got != 0.5 {
+		t.Errorf("occupation = %f, want 0.5", got)
+	}
+	if s.Occupation(0) != 0 {
+		t.Error("zero-total occupation should be 0")
+	}
+}
+
+func TestDedicatedPortsOverlap(t *testing.T) {
+	// Cray-like: loads and stores proceed in parallel on separate ports.
+	s := mustNew(t, Config{Latency: 10, LoadPorts: 2, StorePorts: 1})
+	l1, _, _ := s.ScheduleVector(0, 100, 8, true)
+	l2, _, _ := s.ScheduleVector(0, 100, 8, true)
+	st, _, _ := s.ScheduleVector(0, 100, 8, false)
+	if l1 != 0 || l2 != 0 || st != 0 {
+		t.Fatalf("starts %d %d %d, want all 0 (three ports)", l1, l2, st)
+	}
+	// Third load queues behind one of the two load ports.
+	l3, _, _ := s.ScheduleVector(0, 10, 8, true)
+	if l3 != 100 {
+		t.Errorf("third load start = %d, want 100", l3)
+	}
+	// Stores must not use load-only ports.
+	st2, _, _ := s.ScheduleVector(0, 10, 8, false)
+	if st2 != 100 {
+		t.Errorf("second store start = %d, want 100", st2)
+	}
+}
+
+func TestPortFreeAt(t *testing.T) {
+	s := mustNew(t, Config{Latency: 10, GeneralPorts: 1})
+	if s.PortFreeAt(true) != 0 {
+		t.Error("fresh system should be free at 0")
+	}
+	s.ScheduleVector(0, 42, 8, true)
+	if s.PortFreeAt(false) != 42 {
+		t.Errorf("PortFreeAt = %d, want 42", s.PortFreeAt(false))
+	}
+}
+
+func TestBankConflicts(t *testing.T) {
+	// 16 banks, 8-cycle bank busy: unit stride touches 16 distinct banks
+	// (conflict-free); stride 16 elements revisits a bank every cycle
+	// cycle (16/gcd(16,16) = 1 distinct bank -> 8 cycles/element).
+	s := mustNew(t, Config{Latency: 10, GeneralPorts: 1, Banks: 16, BankBusy: 8})
+	_, _, busyUnit := s.ScheduleVector(0, 64, 8, true)
+	if busyUnit != 64 {
+		t.Errorf("unit stride busy = %d, want 64", busyUnit)
+	}
+	_, _, busyBad := s.ScheduleVector(0, 64, 16*8, true)
+	if busyBad != 64*8 {
+		t.Errorf("stride-16 busy = %d, want %d", busyBad, 64*8)
+	}
+	// Stride 2: 8 distinct banks >= busy 8 -> still full rate.
+	_, _, busy2 := s.ScheduleVector(0, 64, 16, true)
+	if busy2 != 64 {
+		t.Errorf("stride-2 busy = %d, want 64", busy2)
+	}
+	// Stride 4: 4 distinct banks < 8 -> 2 cycles per element.
+	_, _, busy4 := s.ScheduleVector(0, 64, 32, true)
+	if busy4 != 128 {
+		t.Errorf("stride-4 busy = %d, want 128", busy4)
+	}
+	// Gathers (stride 0) assumed conflict-free.
+	_, _, busyG := s.ScheduleVector(0, 64, 0, true)
+	if busyG != 64 {
+		t.Errorf("gather busy = %d, want 64", busyG)
+	}
+	// Negative strides behave like their magnitude.
+	_, _, busyN := s.ScheduleVector(0, 64, -32, true)
+	if busyN != 128 {
+		t.Errorf("negative stride busy = %d, want 128", busyN)
+	}
+}
+
+func TestSchedulingInvariants(t *testing.T) {
+	// Property: starts never precede `earliest`, port times are
+	// monotonic, busy cycles equal the sum of busyFor.
+	f := func(ops []struct {
+		N      uint8
+		Stride int8
+		Load   bool
+		Gap    uint8
+	}) bool {
+		s, err := New(Config{Latency: 30, GeneralPorts: 1, Banks: 16, BankBusy: 4})
+		if err != nil {
+			return false
+		}
+		var now Cycle
+		var sum int64
+		for _, op := range ops {
+			n := int(op.N%64) + 1
+			now += Cycle(op.Gap)
+			start, _, busy := s.ScheduleVector(now, n, int64(op.Stride)*8, op.Load)
+			if start < now || busy < int64(n) {
+				return false
+			}
+			sum += busy
+		}
+		return s.BusyCycles() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package prog
+
+import "mtvec/internal/isa"
+
+// Stats accumulates the dynamic operation counts the paper reports in
+// Table 3, plus the per-resource demand totals used for the IDEAL lower
+// bound of Figure 10.
+type Stats struct {
+	ScalarInsts int64 // scalar + control instructions issued
+	VectorInsts int64 // vector instructions issued
+	VectorOps   int64 // operations performed by vector instructions (ΣVL)
+
+	VectorArithElems  int64 // ΣVL over vector arithmetic (VOPC numerator)
+	FU2OnlyArithElems int64 // ΣVL over mul/div/sqrt (must run on FU2)
+	VectorMemElems    int64 // ΣVL over vector memory ops (address bus demand)
+	ScalarMemRefs     int64 // scalar loads/stores (address bus demand)
+	VectorLoadElems   int64
+	VectorStoreElems  int64
+
+	PerOp [isa.NumOps]int64 // dynamic instruction count per opcode
+}
+
+// Add accounts one dynamic instruction.
+func (st *Stats) Add(d *isa.DynInst) {
+	st.PerOp[d.Op]++
+	info := isa.InfoOf(d.Op)
+	switch info.Kind {
+	case isa.KindVector:
+		st.VectorInsts++
+		st.VectorOps += int64(d.VL)
+		if info.Arith {
+			st.VectorArithElems += int64(d.VL)
+			if d.Op.FU2Only() {
+				st.FU2OnlyArithElems += int64(d.VL)
+			}
+		}
+	case isa.KindVectorMem:
+		st.VectorInsts++
+		st.VectorOps += int64(d.VL)
+		st.VectorMemElems += int64(d.VL)
+		if info.Load {
+			st.VectorLoadElems += int64(d.VL)
+		} else {
+			st.VectorStoreElems += int64(d.VL)
+		}
+	default:
+		st.ScalarInsts++
+		if info.Load || info.Store {
+			st.ScalarMemRefs++
+		}
+	}
+}
+
+// Merge adds other into st.
+func (st *Stats) Merge(other *Stats) {
+	st.ScalarInsts += other.ScalarInsts
+	st.VectorInsts += other.VectorInsts
+	st.VectorOps += other.VectorOps
+	st.VectorArithElems += other.VectorArithElems
+	st.FU2OnlyArithElems += other.FU2OnlyArithElems
+	st.VectorMemElems += other.VectorMemElems
+	st.ScalarMemRefs += other.ScalarMemRefs
+	st.VectorLoadElems += other.VectorLoadElems
+	st.VectorStoreElems += other.VectorStoreElems
+	for i := range st.PerOp {
+		st.PerOp[i] += other.PerOp[i]
+	}
+}
+
+// Insts returns the total dynamic instruction count (decode-slot demand).
+func (st *Stats) Insts() int64 { return st.ScalarInsts + st.VectorInsts }
+
+// PctVectorized implements the paper's degree of vectorization: vector
+// operations over total operations (vector ops + scalar instructions),
+// as a percentage.
+func (st *Stats) PctVectorized() float64 {
+	tot := st.VectorOps + st.ScalarInsts
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(st.VectorOps) / float64(tot)
+}
+
+// AvgVL returns the average vector length: vector operations per vector
+// instruction.
+func (st *Stats) AvgVL() float64 {
+	if st.VectorInsts == 0 {
+		return 0
+	}
+	return float64(st.VectorOps) / float64(st.VectorInsts)
+}
+
+// MemPortDemand returns the total address-bus busy cycles the workload
+// requires: one per vector element accessed plus one per scalar reference.
+func (st *Stats) MemPortDemand() int64 {
+	return st.VectorMemElems + st.ScalarMemRefs
+}
+
+// ArithDemand returns the lower bound on cycles the two vector arithmetic
+// units need: the FU2-only work cannot be split, the rest balances across
+// FU1 and FU2.
+func (st *Stats) ArithDemand() int64 {
+	half := (st.VectorArithElems + 1) / 2
+	if st.FU2OnlyArithElems > half {
+		return st.FU2OnlyArithElems
+	}
+	return half
+}
+
+// IdealCycles is the paper's IDEAL bound (Figure 10): the occupancy of the
+// most saturated resource, ignoring all dependences and latencies.
+func (st *Stats) IdealCycles() int64 {
+	b := st.Insts() // decode: one instruction per cycle
+	if m := st.MemPortDemand(); m > b {
+		b = m
+	}
+	if a := st.ArithDemand(); a > b {
+		b = a
+	}
+	return b
+}

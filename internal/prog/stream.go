@@ -1,0 +1,116 @@
+package prog
+
+import (
+	"fmt"
+
+	"mtvec/internal/isa"
+)
+
+// Stream expands a static program against a TraceSource into the dynamic
+// instruction stream. It maintains the architectural vector-length and
+// vector-stride registers: SetVL/SetVS instructions install values drawn
+// from the VL/stride traces, and subsequent vector instructions execute
+// under them, exactly as on the traced machine.
+//
+// A Stream is single-use; create a new one (with a fresh TraceSource) to
+// restart a program.
+type Stream struct {
+	prog *Program
+	src  TraceSource
+
+	vl int64 // architectural vector length register
+	vs int64 // architectural vector stride register (bytes)
+
+	bb    int
+	idx   int
+	inBB  bool
+	count int64
+
+	err error
+}
+
+// NewStream creates a dynamic stream for p fed by src. The VL register
+// resets to MaxVL and the stride register to one element, the conventional
+// initial state.
+func NewStream(p *Program, src TraceSource) *Stream {
+	return &Stream{prog: p, src: src, vl: isa.MaxVL, vs: isa.ElemBytes}
+}
+
+// Program returns the static program this stream expands.
+func (s *Stream) Program() *Program { return s.prog }
+
+// Count returns the number of dynamic instructions delivered so far.
+func (s *Stream) Count() int64 { return s.count }
+
+// Err returns the first error encountered (bad block index, failing
+// source). A stream that ends with Err() == nil ended normally.
+func (s *Stream) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.src.Err()
+}
+
+// Next fills d with the next dynamic instruction, reporting false at end
+// of trace. d is fully overwritten.
+func (s *Stream) Next(d *isa.DynInst) bool {
+	if s.err != nil {
+		return false
+	}
+	for !s.inBB || s.idx >= len(s.prog.Blocks[s.bb].Insts) {
+		bb, ok := s.src.NextBB()
+		if !ok {
+			return false
+		}
+		if bb < 0 || bb >= len(s.prog.Blocks) {
+			s.err = fmt.Errorf("prog: %s: trace names block %d of %d", s.prog.Name, bb, len(s.prog.Blocks))
+			return false
+		}
+		s.bb, s.idx, s.inBB = bb, 0, true
+	}
+
+	in := s.prog.Blocks[s.bb].Insts[s.idx]
+	*d = isa.DynInst{Inst: in, PC: s.prog.PCBase(s.bb) + uint32(s.idx)}
+	s.idx++
+	s.count++
+
+	switch isa.InfoOf(in.Op).Kind {
+	case isa.KindVLVS:
+		if in.Op == isa.OpSetVL {
+			v := s.src.NextVL()
+			if v < 1 {
+				v = 1
+			}
+			if v > isa.MaxVL {
+				v = isa.MaxVL
+			}
+			s.vl = v
+			d.SetVal = s.vl
+		} else {
+			s.vs = s.src.NextStride()
+			d.SetVal = s.vs
+		}
+	case isa.KindVector:
+		d.VL = uint16(s.vl)
+	case isa.KindVectorMem:
+		d.VL = uint16(s.vl)
+		d.Stride = s.vs
+		d.Addr = s.src.NextAddr()
+	case isa.KindScalarMem:
+		d.Addr = s.src.NextAddr()
+	}
+	return true
+}
+
+// Drain consumes the rest of the stream, returning the number of dynamic
+// instructions seen and accumulated statistics.
+func (s *Stream) Drain() (int64, Stats, error) {
+	var st Stats
+	var d isa.DynInst
+	var n int64
+	for s.Next(&d) {
+		st.Add(&d)
+		n++
+	}
+	return n, st, s.Err()
+}

@@ -1,0 +1,119 @@
+package sched
+
+import "testing"
+
+// fakeView is a scriptable MachineView.
+type fakeView struct {
+	work         []bool
+	dispatchable []bool
+}
+
+func (f *fakeView) NumThreads() int         { return len(f.work) }
+func (f *fakeView) HasWork(t int) bool      { return f.work[t] }
+func (f *fakeView) Dispatchable(t int) bool { return f.dispatchable[t] }
+
+func TestUnfairKeepsRunningThread(t *testing.T) {
+	v := &fakeView{work: []bool{true, true, true}, dispatchable: []bool{true, true, true}}
+	p := Unfair{}
+	if got := p.Pick(v, 2, false); got != 2 {
+		t.Fatalf("unblocked current thread not kept: %d", got)
+	}
+}
+
+func TestUnfairSwitchesToLowestUnblocked(t *testing.T) {
+	v := &fakeView{work: []bool{true, true, true}, dispatchable: []bool{false, true, true}}
+	p := Unfair{}
+	if got := p.Pick(v, 0, true); got != 1 {
+		t.Fatalf("switch target = %d, want 1", got)
+	}
+	// Thread 0 regains priority the moment it is dispatchable.
+	v.dispatchable[0] = true
+	if got := p.Pick(v, 2, true); got != 0 {
+		t.Fatalf("switch target = %d, want 0 (lowest)", got)
+	}
+}
+
+func TestUnfairAllBlockedAttemptsLowest(t *testing.T) {
+	v := &fakeView{work: []bool{false, true, true}, dispatchable: []bool{false, false, false}}
+	p := Unfair{}
+	if got := p.Pick(v, 1, true); got != 1 {
+		t.Fatalf("all-blocked pick = %d, want 1 (lowest with work)", got)
+	}
+}
+
+func TestUnfairNoWork(t *testing.T) {
+	v := &fakeView{work: []bool{false, false}, dispatchable: []bool{false, false}}
+	p := Unfair{}
+	if got := p.Pick(v, 0, true); got != -1 {
+		t.Fatalf("pick with no work = %d, want -1", got)
+	}
+}
+
+func TestUnfairSkipsFinishedCurrent(t *testing.T) {
+	v := &fakeView{work: []bool{false, true}, dispatchable: []bool{false, true}}
+	p := Unfair{}
+	if got := p.Pick(v, 0, false); got != 1 {
+		t.Fatalf("finished current not abandoned: %d", got)
+	}
+}
+
+func TestRoundRobinStartsAfterCurrent(t *testing.T) {
+	v := &fakeView{work: []bool{true, true, true}, dispatchable: []bool{true, false, true}}
+	p := RoundRobin{}
+	if got := p.Pick(v, 0, true); got != 2 {
+		t.Fatalf("round-robin pick = %d, want 2 (1 blocked)", got)
+	}
+	if got := p.Pick(v, 2, true); got != 0 {
+		t.Fatalf("round-robin wrap = %d, want 0", got)
+	}
+	// Unblocked current stays.
+	if got := p.Pick(v, 0, false); got != 0 {
+		t.Fatalf("round-robin kept = %d, want 0", got)
+	}
+}
+
+func TestEveryCycleRotates(t *testing.T) {
+	v := &fakeView{work: []bool{true, true, true}, dispatchable: []bool{true, true, true}}
+	p := EveryCycle{}
+	if got := p.Pick(v, 0, false); got != 1 {
+		t.Fatalf("every-cycle pick = %d, want 1", got)
+	}
+	if got := p.Pick(v, 2, false); got != 0 {
+		t.Fatalf("every-cycle wrap = %d, want 0", got)
+	}
+}
+
+func TestLRUEqualizes(t *testing.T) {
+	v := &fakeView{work: []bool{true, true, true}, dispatchable: []bool{true, true, true}}
+	p := &LRU{}
+	// Thread 0 runs a while.
+	for i := 0; i < 5; i++ {
+		if got := p.Pick(v, 0, false); got != 0 {
+			t.Fatalf("LRU kept = %d", got)
+		}
+	}
+	// On block, least recently run (1 or 2, both never) wins; ties by
+	// scan order give 1, then 2.
+	if got := p.Pick(v, 0, true); got != 1 {
+		t.Fatalf("LRU pick = %d, want 1", got)
+	}
+	if got := p.Pick(v, 1, true); got != 2 {
+		t.Fatalf("LRU pick = %d, want 2", got)
+	}
+	// Now thread 0 is the stalest.
+	if got := p.Pick(v, 2, true); got != 0 {
+		t.Fatalf("LRU pick = %d, want 0", got)
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	for _, n := range Names() {
+		p := ByName(n)
+		if p == nil || p.Name() != n {
+			t.Errorf("ByName(%q) broken", n)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown policy should be nil")
+	}
+}

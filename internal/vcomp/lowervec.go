@@ -1,0 +1,470 @@
+package vcomp
+
+import (
+	"fmt"
+
+	"mtvec/internal/isa"
+	"mtvec/internal/kernel"
+	"mtvec/internal/prog"
+)
+
+// Register conventions in lowered code:
+//
+//	a0  strip counter (decremented each strip)
+//	a1  element index cursor
+//	a2+ array base registers (cycling)
+//	s0  reserved (always ready)
+//	s1+ scalar arguments and reduction targets
+const (
+	regCount = 0
+	regIndex = 1
+	aBaseLo  = 2
+)
+
+var binOpTable = map[kernel.BinOp]isa.Op{
+	kernel.Add:   isa.OpVAdd,
+	kernel.Sub:   isa.OpVSub,
+	kernel.Mul:   isa.OpVMul,
+	kernel.Div:   isa.OpVDiv,
+	kernel.And:   isa.OpVAnd,
+	kernel.Or:    isa.OpVOr,
+	kernel.Xor:   isa.OpVXor,
+	kernel.CmpGT: isa.OpVCmp,
+	kernel.Merge: isa.OpVMerge,
+}
+
+var unOpTable = map[kernel.UnOp]isa.Op{
+	kernel.Sqrt: isa.OpVSqrt,
+	kernel.Shl:  isa.OpVShl,
+	kernel.Shr:  isa.OpVShr,
+}
+
+// value is an operand produced during expression lowering.
+type value struct {
+	reg    uint8
+	temp   bool          // freshly-allocated temporary, freed on release
+	arr    *kernel.Array // cached load, refcounted via uses
+	scalar bool          // S register broadcast
+}
+
+type vlower struct {
+	loop  *kernel.VectorLoop
+	insts []isa.Inst
+	slots []slot
+
+	regs  vregAlloc
+	sregs *sregAlloc
+
+	uses  map[*kernel.Array]int   // remaining Ref consumptions
+	cache map[*kernel.Array]uint8 // materialized loads
+
+	abase map[*kernel.Array]uint8
+	anext uint8
+
+	curVS       int64
+	firstStride int64
+	haveStride  bool
+}
+
+// lowerVector lowers one vector loop, appending its entry/body/tail blocks
+// to p.
+func lowerVector(p *prog.Program, l *kernel.VectorLoop, opts Options) (*unitCode, error) {
+	lo := &vlower{
+		loop:  l,
+		sregs: newSRegAlloc(),
+		uses:  make(map[*kernel.Array]int),
+		cache: make(map[*kernel.Array]uint8),
+		abase: make(map[*kernel.Array]uint8),
+		anext: aBaseLo,
+	}
+	lo.countUses()
+
+	// The Convex compiler scheduled vector instructions "taking the lack
+	// of load chaining into account" (Section 3): loads are hoisted to
+	// the top of the strip body, as far as register pressure and
+	// store-load orderings allow, so later statements' memory traffic
+	// overlaps earlier statements' compute.
+	if !opts.NoHoist {
+		if err := lo.hoistLoads(); err != nil {
+			return nil, fmt.Errorf("%s: hoisting loads: %w", l.Name, err)
+		}
+	}
+
+	for i := range l.Body {
+		if err := lo.stmt(&l.Body[i]); err != nil {
+			return nil, fmt.Errorf("%s: stmt %d: %w", l.Name, i, err)
+		}
+	}
+	if err := lo.checkDrained(); err != nil {
+		return nil, fmt.Errorf("%s: %w", l.Name, err)
+	}
+
+	// Stride wrap rule: if the body leaves VS different from what its
+	// first memory instruction needs, re-establish it at the loop top so
+	// iterations after the first see the right stride.
+	if lo.haveStride && lo.curVS != lo.firstStride {
+		lo.insts = append([]isa.Inst{{Op: isa.OpSetVS, Src1: isa.A(regIndex)}}, lo.insts...)
+		lo.slots = append([]slot{{kind: slotStride, stride: lo.firstStride}}, lo.slots...)
+	}
+
+	// Entry: base-register setup, stride, vector length, loop counters.
+	var entry prog.BasicBlock
+	entry.Label = l.Name + ".entry"
+	entry.Insts = append(entry.Insts,
+		isa.Inst{Op: isa.OpMovI, Dst: isa.A(regCount), Src2: isa.Imm()},
+		isa.Inst{Op: isa.OpMovI, Dst: isa.A(regIndex), Src2: isa.Imm()},
+	)
+	seenBase := make(map[uint8]bool)
+	for _, a := range l.Arrays() {
+		r, ok := lo.abase[a]
+		if !ok || seenBase[r] {
+			continue
+		}
+		seenBase[r] = true
+		entry.Insts = append(entry.Insts,
+			isa.Inst{Op: isa.OpMovI, Dst: isa.A(r), Src2: isa.Imm(), Imm: int64(a.Base)})
+	}
+	var entrySlots []slot
+	if lo.haveStride {
+		entry.Insts = append(entry.Insts, isa.Inst{Op: isa.OpSetVS, Src1: isa.A(regIndex)})
+		entrySlots = append(entrySlots, slot{kind: slotStride, stride: lo.firstStride})
+	}
+	entry.Insts = append(entry.Insts, isa.Inst{Op: isa.OpSetVL, Src1: isa.A(regIndex)})
+	entrySlots = append(entrySlots, slot{kind: slotVL})
+
+	// Body: lowered vector code plus strip control.
+	body := prog.BasicBlock{Label: l.Name + ".body"}
+	body.Insts = append(body.Insts, lo.insts...)
+	body.Insts = append(body.Insts,
+		isa.Inst{Op: isa.OpAAdd, Dst: isa.A(regIndex), Src1: isa.A(regIndex), Src2: isa.Imm(), Imm: isa.MaxVL * isa.ElemBytes},
+		isa.Inst{Op: isa.OpAAdd, Dst: isa.A(regCount), Src1: isa.A(regCount), Src2: isa.Imm(), Imm: -1},
+		isa.Inst{Op: isa.OpBr, Src1: isa.A(regCount)},
+	)
+
+	// Tail: remainder strip under a reduced vector length.
+	tail := prog.BasicBlock{Label: l.Name + ".tail"}
+	tail.Insts = append(tail.Insts, isa.Inst{Op: isa.OpSetVL, Src1: isa.A(regIndex)})
+	tail.Insts = append(tail.Insts, lo.insts...)
+	tailSlots := append([]slot{{kind: slotVL}}, lo.slots...)
+
+	base := len(p.Blocks)
+	p.Blocks = append(p.Blocks, entry, body, tail)
+
+	uc := &unitCode{
+		name:       l.Name,
+		entry:      base,
+		body:       base + 1,
+		tail:       base + 2,
+		entrySlots: entrySlots,
+		bodySlots:  lo.slots,
+		tailSlots:  tailSlots,
+	}
+	uc.entryScalar, _ = countBlock(&p.Blocks[base])
+	uc.bodyScalar, uc.bodyVec = countBlock(&p.Blocks[base+1])
+	uc.tailScalar, uc.tailVec = countBlock(&p.Blocks[base+2])
+	return uc, nil
+}
+
+// hoistBudget caps registers held by hoisted loads, leaving room for
+// expression temporaries.
+const hoistBudget = isa.NumV - 3
+
+// hoistLoads materializes statement operands early, in statement order.
+// A load is hoisted only if no earlier statement stores to its array
+// (the later read must see the stored value, which the cache-invalidation
+// logic provides by reloading after the store).
+func (lo *vlower) hoistLoads() error {
+	stored := make(map[*kernel.Array]bool)
+	var err error
+	hoist := func(a *kernel.Array) {
+		if err != nil || stored[a] || lo.regs.liveCount() >= hoistBudget {
+			return
+		}
+		if _, ok := lo.cache[a]; ok {
+			return
+		}
+		if _, e := lo.evalRefArr(a); e != nil {
+			err = e
+		}
+	}
+	for i := range lo.loop.Body {
+		st := &lo.loop.Body[i]
+		st.E.Walk(func(e kernel.Expr) {
+			switch n := e.(type) {
+			case *kernel.Ref:
+				hoist(n.Arr)
+			case *kernel.Gather:
+				hoist(n.Index)
+			}
+		})
+		if st.ScatterIdx != nil {
+			hoist(st.ScatterIdx)
+		}
+		if err != nil {
+			return err
+		}
+		if st.Dst != nil {
+			stored[st.Dst] = true
+		}
+	}
+	return nil
+}
+
+// countUses tallies how many times each array is consumed as a vector
+// load so cached load registers free exactly at their last use.
+func (lo *vlower) countUses() {
+	for i := range lo.loop.Body {
+		st := &lo.loop.Body[i]
+		st.E.Walk(func(e kernel.Expr) {
+			switch n := e.(type) {
+			case *kernel.Ref:
+				lo.uses[n.Arr]++
+			case *kernel.Gather:
+				lo.uses[n.Index]++
+			}
+		})
+		if st.ScatterIdx != nil {
+			lo.uses[st.ScatterIdx]++
+		}
+	}
+}
+
+func (lo *vlower) stmt(st *kernel.Stmt) error {
+	v, err := lo.eval(st.E)
+	if err != nil {
+		return err
+	}
+	if v.scalar {
+		return fmt.Errorf("statement value is scalar; nothing to vectorize")
+	}
+	switch {
+	case st.Reduce != "":
+		s, err := lo.sregs.get(st.Reduce)
+		if err != nil {
+			return err
+		}
+		lo.emit(isa.Inst{Op: isa.OpVRedAdd, Dst: isa.S(s), Src1: isa.V(v.reg)})
+		lo.release(v)
+	case st.ScatterIdx != nil:
+		iv, err := lo.evalRefArr(st.ScatterIdx)
+		if err != nil {
+			return err
+		}
+		lo.emit(isa.Inst{Op: isa.OpVScatter, Src1: isa.V(v.reg), Src2: isa.V(iv.reg)})
+		lo.addrSlot(st.Dst, false)
+		lo.release(v)
+		lo.release(iv)
+		lo.invalidate(st.Dst)
+	default:
+		if err := lo.ensureVS(st.Dst.Stride); err != nil {
+			return err
+		}
+		lo.emit(isa.Inst{Op: isa.OpVStore, Src1: isa.V(v.reg), Src2: isa.A(lo.base(st.Dst))})
+		lo.addrSlot(st.Dst, true)
+		lo.release(v)
+		lo.invalidate(st.Dst)
+	}
+	return nil
+}
+
+func (lo *vlower) eval(e kernel.Expr) (value, error) {
+	switch n := e.(type) {
+	case *kernel.Ref:
+		return lo.evalRefArr(n.Arr)
+	case *kernel.Gather:
+		return lo.evalGather(n)
+	case *kernel.ScalarArg:
+		s, err := lo.sregs.get(n.Name)
+		if err != nil {
+			return value{}, err
+		}
+		return value{reg: s, scalar: true}, nil
+	case *kernel.Bin:
+		return lo.evalBin(n)
+	case *kernel.Un:
+		return lo.evalUn(n)
+	}
+	return value{}, fmt.Errorf("unknown expression type %T", e)
+}
+
+func (lo *vlower) evalRefArr(a *kernel.Array) (value, error) {
+	if r, ok := lo.cache[a]; ok {
+		return value{reg: r, arr: a}, nil
+	}
+	if err := lo.ensureVS(a.Stride); err != nil {
+		return value{}, err
+	}
+	r, err := lo.regs.alloc()
+	if err != nil {
+		return value{}, err
+	}
+	lo.emit(isa.Inst{Op: isa.OpVLoad, Dst: isa.V(r), Src1: isa.A(lo.base(a))})
+	lo.addrSlot(a, true)
+	lo.cache[a] = r
+	return value{reg: r, arr: a}, nil
+}
+
+func (lo *vlower) evalGather(g *kernel.Gather) (value, error) {
+	iv, err := lo.evalRefArr(g.Index)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := lo.regs.alloc()
+	if err != nil {
+		return value{}, err
+	}
+	lo.emit(isa.Inst{Op: isa.OpVGather, Dst: isa.V(r), Src1: isa.V(iv.reg), Src2: isa.A(lo.base(g.Data))})
+	lo.addrSlotBase(g.Data)
+	lo.release(iv)
+	return value{reg: r, temp: true}, nil
+}
+
+func (lo *vlower) evalBin(b *kernel.Bin) (value, error) {
+	lv, err := lo.eval(b.L)
+	if err != nil {
+		return value{}, err
+	}
+	rv, err := lo.eval(b.R)
+	if err != nil {
+		return value{}, err
+	}
+	if lv.scalar && rv.scalar {
+		return value{}, fmt.Errorf("scalar%sscalar is not a vector expression", b.Op)
+	}
+	if lv.scalar || rv.scalar {
+		var op isa.Op
+		switch b.Op {
+		case kernel.Add:
+			op = isa.OpVAddS
+		case kernel.Mul:
+			op = isa.OpVMulS
+		default:
+			return value{}, fmt.Errorf("scalar operand requires + or *, have %s", b.Op)
+		}
+		vec, sc := lv, rv
+		if lv.scalar {
+			vec, sc = rv, lv
+		}
+		dst, err := lo.regs.alloc()
+		if err != nil {
+			return value{}, err
+		}
+		lo.emit(isa.Inst{Op: op, Dst: isa.V(dst), Src1: isa.V(vec.reg), Src2: isa.S(sc.reg)})
+		lo.release(vec)
+		return value{reg: dst, temp: true}, nil
+	}
+	op, ok := binOpTable[b.Op]
+	if !ok {
+		return value{}, fmt.Errorf("unsupported binary operator %s", b.Op)
+	}
+	dst, err := lo.regs.alloc()
+	if err != nil {
+		return value{}, err
+	}
+	lo.emit(isa.Inst{Op: op, Dst: isa.V(dst), Src1: isa.V(lv.reg), Src2: isa.V(rv.reg)})
+	lo.release(lv)
+	lo.release(rv)
+	return value{reg: dst, temp: true}, nil
+}
+
+func (lo *vlower) evalUn(u *kernel.Un) (value, error) {
+	xv, err := lo.eval(u.X)
+	if err != nil {
+		return value{}, err
+	}
+	if xv.scalar {
+		return value{}, fmt.Errorf("unary %s of a scalar is not a vector expression", u.Op)
+	}
+	op, ok := unOpTable[u.Op]
+	if !ok {
+		return value{}, fmt.Errorf("unsupported unary operator %s", u.Op)
+	}
+	dst, err := lo.regs.alloc()
+	if err != nil {
+		return value{}, err
+	}
+	lo.emit(isa.Inst{Op: op, Dst: isa.V(dst), Src1: isa.V(xv.reg)})
+	lo.release(xv)
+	return value{reg: dst, temp: true}, nil
+}
+
+func (lo *vlower) emit(in isa.Inst) { lo.insts = append(lo.insts, in) }
+
+func (lo *vlower) addrSlot(a *kernel.Array, walk bool) {
+	lo.slots = append(lo.slots, slot{kind: slotAddr, base: a.Base, stride: a.Stride, walk: walk})
+}
+
+func (lo *vlower) addrSlotBase(a *kernel.Array) {
+	lo.slots = append(lo.slots, slot{kind: slotAddr, base: a.Base})
+}
+
+// ensureVS makes the vector stride register hold stride at this point of
+// the body, emitting a SetVS if it changed.
+func (lo *vlower) ensureVS(stride int64) error {
+	if !lo.haveStride {
+		lo.haveStride = true
+		lo.firstStride = stride
+		lo.curVS = stride
+		return nil // the entry block installs the first stride
+	}
+	if lo.curVS != stride {
+		lo.emit(isa.Inst{Op: isa.OpSetVS, Src1: isa.A(regIndex)})
+		lo.slots = append(lo.slots, slot{kind: slotStride, stride: stride})
+		lo.curVS = stride
+	}
+	return nil
+}
+
+// release returns a value's register when its last consumer is done.
+func (lo *vlower) release(v value) {
+	switch {
+	case v.scalar:
+	case v.temp:
+		lo.regs.free(v.reg)
+	case v.arr != nil:
+		lo.uses[v.arr]--
+		if lo.uses[v.arr] == 0 {
+			if r, ok := lo.cache[v.arr]; ok {
+				lo.regs.free(r)
+				delete(lo.cache, v.arr)
+			}
+		}
+	}
+}
+
+// invalidate drops a cached load after its array is stored to; later
+// reads must reload.
+func (lo *vlower) invalidate(a *kernel.Array) {
+	if r, ok := lo.cache[a]; ok {
+		lo.regs.free(r)
+		delete(lo.cache, a)
+	}
+}
+
+// checkDrained asserts the allocator invariant: after lowering the whole
+// body every vector register is free and every counted use was consumed.
+func (lo *vlower) checkDrained() error {
+	if n := lo.regs.liveCount(); n != 0 {
+		return fmt.Errorf("internal: %d vector registers leaked", n)
+	}
+	for a, n := range lo.uses {
+		if n != 0 {
+			return fmt.Errorf("internal: array %s has %d unconsumed uses", a.Name, n)
+		}
+	}
+	return nil
+}
+
+// base returns (assigning on first use) the A register holding a's base.
+func (lo *vlower) base(a *kernel.Array) uint8 {
+	if r, ok := lo.abase[a]; ok {
+		return r
+	}
+	r := lo.anext
+	lo.abase[a] = r
+	lo.anext++
+	if lo.anext >= isa.NumA {
+		lo.anext = aBaseLo
+	}
+	return r
+}

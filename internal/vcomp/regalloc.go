@@ -1,0 +1,84 @@
+package vcomp
+
+import (
+	"fmt"
+
+	"mtvec/internal/isa"
+)
+
+// vregAlloc hands out the eight vector registers. Allocation prefers the
+// register bank with the fewest live registers so that concurrently-live
+// operands spread across banks — each bank has only two read ports and
+// one write port, and the paper makes the compiler responsible for
+// keeping port conflicts rare.
+type vregAlloc struct {
+	live [isa.NumV]bool
+}
+
+func (a *vregAlloc) alloc() (uint8, error) {
+	best := -1
+	bestBankLoad := isa.VRegsPerBank + 1
+	for r := 0; r < isa.NumV; r++ {
+		if a.live[r] {
+			continue
+		}
+		load := 0
+		bank := isa.VBank(uint8(r))
+		for q := bank * isa.VRegsPerBank; q < (bank+1)*isa.VRegsPerBank; q++ {
+			if a.live[q] {
+				load++
+			}
+		}
+		if load < bestBankLoad {
+			best, bestBankLoad = r, load
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("vector register pressure exceeds %d registers; split the statement", isa.NumV)
+	}
+	a.live[best] = true
+	return uint8(best), nil
+}
+
+func (a *vregAlloc) free(r uint8) {
+	if !a.live[r] {
+		panic(fmt.Sprintf("vcomp: double free of v%d", r))
+	}
+	a.live[r] = false
+}
+
+func (a *vregAlloc) liveCount() int {
+	n := 0
+	for _, l := range a.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// sregAlloc hands out S registers for loop-invariant scalar arguments and
+// reduction targets; they stay allocated for the whole unit.
+type sregAlloc struct {
+	next  uint8
+	names map[string]uint8
+}
+
+func newSRegAlloc() *sregAlloc {
+	// s0 is reserved as the always-zero/ready register convention used
+	// by lowered control code.
+	return &sregAlloc{next: 1, names: make(map[string]uint8)}
+}
+
+func (a *sregAlloc) get(name string) (uint8, error) {
+	if r, ok := a.names[name]; ok {
+		return r, nil
+	}
+	if a.next >= isa.NumS {
+		return 0, fmt.Errorf("more than %d scalar arguments", isa.NumS-1)
+	}
+	r := a.next
+	a.next++
+	a.names[name] = r
+	return r, nil
+}

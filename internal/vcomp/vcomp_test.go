@@ -1,0 +1,446 @@
+package vcomp
+
+import (
+	"strings"
+	"testing"
+
+	"mtvec/internal/isa"
+	"mtvec/internal/kernel"
+	"mtvec/internal/prog"
+)
+
+func arrS(name string, base uint64, stride int64) *kernel.Array {
+	return &kernel.Array{Name: name, Base: base, Stride: stride}
+}
+
+// axpy: y[i] = a*x[i] + y[i]
+func axpyKernel() *kernel.Kernel {
+	x := arrS("x", 0x10000, 8)
+	y := arrS("y", 0x20000, 8)
+	return &kernel.Kernel{Name: "axpy", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "axpy", Body: []kernel.Stmt{{
+			Dst: y,
+			E: &kernel.Bin{Op: kernel.Add,
+				L: &kernel.Bin{Op: kernel.Mul, L: &kernel.ScalarArg{Name: "a"}, R: &kernel.Ref{Arr: x}},
+				R: &kernel.Ref{Arr: y}},
+		}}},
+	}}
+}
+
+func mustCompile(t *testing.T, k *kernel.Kernel) *Compiled {
+	t.Helper()
+	c, err := Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompileAxpyShape(t *testing.T) {
+	c := mustCompile(t, axpyKernel())
+	if c.NumUnits() != 1 {
+		t.Fatalf("units = %d", c.NumUnits())
+	}
+	if len(c.Prog.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want entry/body/tail", len(c.Prog.Blocks))
+	}
+	body := c.Prog.Blocks[1]
+	var ops []string
+	for _, in := range body.Insts {
+		ops = append(ops, in.Op.String())
+	}
+	joined := strings.Join(ops, " ")
+	// Two loads, a vector-scalar multiply, an add, a store, then control.
+	for _, want := range []string{"vload", "vmuls", "vadd", "vstore", "aadd", "br"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("body %q missing %s", joined, want)
+		}
+	}
+	// Single uniform stride: no SetVS inside the body.
+	if strings.Contains(joined, "setvs") {
+		t.Errorf("uniform-stride body should not re-set VS: %q", joined)
+	}
+	// 5 vector instructions, 3 control scalars.
+	var uc = c.units[0]
+	if uc.bodyVec != 5 || uc.bodyScalar != 3 {
+		t.Errorf("body counts: vec=%d scalar=%d, want 5/3", uc.bodyVec, uc.bodyScalar)
+	}
+}
+
+func TestTraceEmissionFullAndRemainder(t *testing.T) {
+	c := mustCompile(t, axpyKernel())
+	tr, err := c.Trace([]Invocation{{Unit: 0, N: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 = 2 full strips + remainder 44: entry + 2 bodies + tail.
+	if len(tr.BBs) != 4 {
+		t.Fatalf("BBs = %v", tr.BBs)
+	}
+	if tr.BBs[0] != 0 || tr.BBs[1] != 1 || tr.BBs[2] != 1 || tr.BBs[3] != 2 {
+		t.Fatalf("BBs = %v", tr.BBs)
+	}
+	// VL trace: entry 128, tail 44.
+	if len(tr.VLs) != 2 || tr.VLs[0] != 128 || tr.VLs[1] != 44 {
+		t.Fatalf("VLs = %v", tr.VLs)
+	}
+	// One stride install (uniform).
+	if len(tr.Strides) != 1 || tr.Strides[0] != 8 {
+		t.Fatalf("Strides = %v", tr.Strides)
+	}
+	// 3 memory instructions per strip execution × 3 strips.
+	if len(tr.Addrs) != 9 {
+		t.Fatalf("Addrs = %v", tr.Addrs)
+	}
+	// Strip 1 addresses advance by 128 elements.
+	if tr.Addrs[3] != 0x10000+128*8 {
+		t.Fatalf("strip-1 x address = %#x", tr.Addrs[3])
+	}
+	// Tail addresses advance by 256 elements.
+	if tr.Addrs[6] != 0x10000+256*8 {
+		t.Fatalf("tail x address = %#x", tr.Addrs[6])
+	}
+}
+
+func TestTraceShortLoop(t *testing.T) {
+	// N < MaxVL: entry + tail only, both at VL=N.
+	c := mustCompile(t, axpyKernel())
+	tr, err := c.Trace([]Invocation{{Unit: 0, N: 22}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.BBs) != 2 || tr.BBs[0] != 0 || tr.BBs[1] != 2 {
+		t.Fatalf("BBs = %v", tr.BBs)
+	}
+	if len(tr.VLs) != 2 || tr.VLs[0] != 22 || tr.VLs[1] != 22 {
+		t.Fatalf("VLs = %v", tr.VLs)
+	}
+}
+
+func TestTraceExactMultiple(t *testing.T) {
+	// N divisible by MaxVL: no tail.
+	c := mustCompile(t, axpyKernel())
+	tr, err := c.Trace([]Invocation{{Unit: 0, N: 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.BBs) != 3 {
+		t.Fatalf("BBs = %v", tr.BBs)
+	}
+	for _, b := range tr.BBs[1:] {
+		if b != 1 {
+			t.Fatalf("BBs = %v, want body blocks only", tr.BBs)
+		}
+	}
+}
+
+func TestTraceZeroAndNegative(t *testing.T) {
+	c := mustCompile(t, axpyKernel())
+	tr, err := c.Trace([]Invocation{{Unit: 0, N: 0}})
+	if err != nil || len(tr.BBs) != 0 {
+		t.Fatalf("N=0 should emit nothing: %v %v", tr.BBs, err)
+	}
+	if _, err := c.Trace([]Invocation{{Unit: 0, N: -5}}); err == nil {
+		t.Fatal("negative trip count accepted")
+	}
+	if _, err := c.Trace([]Invocation{{Unit: 3, N: 5}}); err == nil {
+		t.Fatal("bad unit index accepted")
+	}
+}
+
+func TestExpandedStreamIsValid(t *testing.T) {
+	// The emitted trace must expand cleanly and match the estimates.
+	c := mustCompile(t, axpyKernel())
+	for _, n := range []int64{1, 22, 127, 128, 129, 300, 1000} {
+		tr, err := c.Trace([]Invocation{{Unit: 0, N: n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := tr.Stream().Drain()
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		sc, vec, vops := c.EstimateInvocation(0, n)
+		if st.ScalarInsts != sc || st.VectorInsts != vec || st.VectorOps != vops {
+			t.Errorf("N=%d: measured s=%d v=%d ops=%d, estimated s=%d v=%d ops=%d",
+				n, st.ScalarInsts, st.VectorInsts, st.VectorOps, sc, vec, vops)
+		}
+		// Vector ops must cover exactly N elements per vector instruction
+		// position: 5 vector insts per strip * N elements total.
+		if st.VectorOps != 5*n {
+			t.Errorf("N=%d: vector ops = %d, want %d", n, st.VectorOps, 5*n)
+		}
+	}
+}
+
+func TestMixedStrideBodyTracksVS(t *testing.T) {
+	// Row walk (stride 8) and column walk (stride 1024) in one body:
+	// the compiler must switch VS between the loads and wrap it back.
+	row := arrS("row", 0x1000, 8)
+	col := arrS("col", 0x100000, 1024)
+	out := arrS("out", 0x200000, 8)
+	k := &kernel.Kernel{Name: "mixed", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "mixed", Body: []kernel.Stmt{{
+			Dst: out,
+			E:   &kernel.Bin{Op: kernel.Add, L: &kernel.Ref{Arr: row}, R: &kernel.Ref{Arr: col}},
+		}}},
+	}}
+	c := mustCompile(t, k)
+	tr, err := c.Trace([]Invocation{{Unit: 0, N: 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expand and verify each memory instruction executes under its
+	// array's stride.
+	s := tr.Stream()
+	var d isa.DynInst
+	wantByAddr := map[uint64]int64{}
+	for i := int64(0); i < 2; i++ {
+		wantByAddr[0x1000+uint64(i*128*8)] = 8
+		wantByAddr[0x100000+uint64(i*128*1024)] = 1024
+		wantByAddr[0x200000+uint64(i*128*8)] = 8
+	}
+	checked := 0
+	for s.Next(&d) {
+		if d.Op.IsVectorMem() {
+			want, ok := wantByAddr[d.Addr]
+			if !ok {
+				t.Fatalf("unexpected address %#x", d.Addr)
+			}
+			if d.Stride != want {
+				t.Errorf("addr %#x executed under stride %d, want %d", d.Addr, d.Stride, want)
+			}
+			checked++
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if checked != 6 {
+		t.Fatalf("checked %d memory instructions, want 6", checked)
+	}
+}
+
+func TestGatherScatterReduction(t *testing.T) {
+	data := arrS("data", 0x1000, 8)
+	idx := arrS("idx", 0x8000, 8)
+	out := arrS("out", 0x10000, 8)
+	k := &kernel.Kernel{Name: "irr", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "gath", Body: []kernel.Stmt{{
+			Dst: out,
+			E:   &kernel.Gather{Data: data, Index: idx},
+		}}},
+		&kernel.VectorLoop{Name: "scat", Body: []kernel.Stmt{{
+			Dst: out, ScatterIdx: idx,
+			E: &kernel.Ref{Arr: data},
+		}}},
+		&kernel.VectorLoop{Name: "red", Body: []kernel.Stmt{{
+			Reduce: "sum",
+			E:      &kernel.Bin{Op: kernel.Mul, L: &kernel.Ref{Arr: data}, R: &kernel.Ref{Arr: out}},
+		}}},
+	}}
+	c := mustCompile(t, k)
+	tr, err := c.Trace([]Invocation{{Unit: 0, N: 128}, {Unit: 1, N: 128}, {Unit: 2, N: 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := tr.Stream().Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PerOp[isa.OpVGather] != 1 || st.PerOp[isa.OpVScatter] != 1 || st.PerOp[isa.OpVRedAdd] != 1 {
+		t.Fatalf("per-op: gather=%d scatter=%d red=%d",
+			st.PerOp[isa.OpVGather], st.PerOp[isa.OpVScatter], st.PerOp[isa.OpVRedAdd])
+	}
+}
+
+func TestStoreInvalidatesCachedLoad(t *testing.T) {
+	// y read, y written, y read again: the second read must reload.
+	y := arrS("y", 0x1000, 8)
+	z := arrS("z", 0x2000, 8)
+	k := &kernel.Kernel{Name: "inv", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "inv", Body: []kernel.Stmt{
+			{Dst: y, E: &kernel.Bin{Op: kernel.Add, L: &kernel.Ref{Arr: y}, R: &kernel.Ref{Arr: z}}},
+			{Dst: z, E: &kernel.Ref{Arr: y}},
+		}},
+	}}
+	c := mustCompile(t, k)
+	body := c.Prog.Blocks[1]
+	loads := 0
+	for _, in := range body.Insts {
+		if in.Op == isa.OpVLoad {
+			loads++
+		}
+	}
+	if loads != 3 {
+		t.Fatalf("loads in body = %d, want 3 (y reloaded after store)", loads)
+	}
+}
+
+func TestLoadCachingWithinStatement(t *testing.T) {
+	// x used twice in one statement: loaded once.
+	x := arrS("x", 0x1000, 8)
+	out := arrS("out", 0x2000, 8)
+	k := &kernel.Kernel{Name: "sq", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "sq", Body: []kernel.Stmt{{
+			Dst: out,
+			E:   &kernel.Bin{Op: kernel.Mul, L: &kernel.Ref{Arr: x}, R: &kernel.Ref{Arr: x}},
+		}}},
+	}}
+	c := mustCompile(t, k)
+	loads := 0
+	for _, in := range c.Prog.Blocks[1].Insts {
+		if in.Op == isa.OpVLoad {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+}
+
+func TestRegisterPressureError(t *testing.T) {
+	// 9 simultaneously-live values cannot fit 8 registers.
+	var refs []*kernel.Array
+	for i := 0; i < 9; i++ {
+		refs = append(refs, arrS(strings.Repeat("a", i+1), uint64(0x1000*(i+1)), 8))
+	}
+	e := kernel.Expr(&kernel.Ref{Arr: refs[0]})
+	for i := 1; i < 9; i++ {
+		e = &kernel.Bin{Op: kernel.Mul, L: e, R: &kernel.Ref{Arr: refs[i]}}
+	}
+	// Build a right-deep tree instead: all 9 loads live before any mul.
+	e2 := kernel.Expr(&kernel.Ref{Arr: refs[8]})
+	for i := 7; i >= 0; i-- {
+		e2 = &kernel.Bin{Op: kernel.Mul, L: &kernel.Ref{Arr: refs[i]}, R: e2}
+	}
+	k := &kernel.Kernel{Name: "press", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "press", Body: []kernel.Stmt{{Dst: refs[0], E: e2}}},
+	}}
+	if _, err := Compile(k); err == nil || !strings.Contains(err.Error(), "register pressure") {
+		t.Fatalf("err = %v, want register pressure", err)
+	}
+	// The left-deep tree fits: temporaries are consumed eagerly.
+	k2 := &kernel.Kernel{Name: "ok", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "ok", Body: []kernel.Stmt{{Dst: refs[0], E: e}}},
+	}}
+	if _, err := Compile(k2); err != nil {
+		t.Fatalf("left-deep tree should compile: %v", err)
+	}
+}
+
+func TestBankSpreadingHeuristic(t *testing.T) {
+	// Allocating four registers with none freed must land them in four
+	// distinct banks.
+	var a vregAlloc
+	banks := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		r, err := a.alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		banks[isa.VBank(r)] = true
+	}
+	if len(banks) != 4 {
+		t.Fatalf("4 live registers span %d banks, want 4", len(banks))
+	}
+}
+
+func TestScalarScalarRejected(t *testing.T) {
+	out := arrS("out", 0x1000, 8)
+	k := &kernel.Kernel{Name: "ss", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "ss", Body: []kernel.Stmt{{
+			Dst: out,
+			E:   &kernel.Bin{Op: kernel.Add, L: &kernel.ScalarArg{Name: "a"}, R: &kernel.ScalarArg{Name: "b"}},
+		}}},
+	}}
+	if _, err := Compile(k); err == nil {
+		t.Fatal("scalar-scalar expression accepted")
+	}
+	// Scalar with unsupported operator.
+	k2 := &kernel.Kernel{Name: "sd", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "sd", Body: []kernel.Stmt{{
+			Dst: out,
+			E:   &kernel.Bin{Op: kernel.Div, L: &kernel.Ref{Arr: out}, R: &kernel.ScalarArg{Name: "a"}},
+		}}},
+	}}
+	if _, err := Compile(k2); err == nil {
+		t.Fatal("scalar divide accepted")
+	}
+}
+
+func TestScalarLoopLowering(t *testing.T) {
+	k := &kernel.Kernel{Name: "s", Units: []kernel.Unit{
+		&kernel.ScalarLoop{Name: "s", Loads: 2, Stores: 1, IntOps: 2, FPOps: 1, FPDivs: 1},
+	}}
+	c := mustCompile(t, k)
+	if len(c.Prog.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(c.Prog.Blocks))
+	}
+	// Body: 2+1+2+1+1 ops + 3 control = 10 instructions.
+	if got := len(c.Prog.Blocks[1].Insts); got != 10 {
+		t.Fatalf("body insts = %d, want 10", got)
+	}
+	tr, err := c.Trace([]Invocation{{Unit: 0, N: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, st, err := tr.Stream().Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2+100*10 {
+		t.Fatalf("dynamic insts = %d", n)
+	}
+	if st.VectorInsts != 0 || st.ScalarMemRefs != 300 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Addresses advance per iteration.
+	if tr.Addrs[3] != tr.Addrs[0]+8 {
+		t.Fatalf("iteration addresses: %#x then %#x", tr.Addrs[0], tr.Addrs[3])
+	}
+}
+
+func TestEstimateMatchesForScalarLoop(t *testing.T) {
+	k := &kernel.Kernel{Name: "s", Units: []kernel.Unit{
+		&kernel.ScalarLoop{Name: "s", Loads: 1, Stores: 1, IntOps: 1, FPOps: 1},
+	}}
+	c := mustCompile(t, k)
+	sc, vec, vops := c.EstimateInvocation(0, 50)
+	tr, _ := c.Trace([]Invocation{{Unit: 0, N: 50}})
+	_, st, err := tr.Stream().Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != st.ScalarInsts || vec != st.VectorInsts || vops != st.VectorOps {
+		t.Fatalf("estimate (%d,%d,%d) != measured (%d,%d,%d)",
+			sc, vec, vops, st.ScalarInsts, st.VectorInsts, st.VectorOps)
+	}
+}
+
+func TestUnitIndex(t *testing.T) {
+	c := mustCompile(t, axpyKernel())
+	if c.UnitIndex("axpy") != 0 || c.UnitIndex("nope") != -1 {
+		t.Fatal("UnitIndex lookup broken")
+	}
+}
+
+func TestCompiledProgramValidates(t *testing.T) {
+	// Every generated program must pass prog.Validate (Compile already
+	// checks, but assert the invariant explicitly on a complex kernel).
+	data := arrS("d", 0x1000, 8)
+	idx := arrS("i", 0x8000, 8)
+	out := arrS("o", 0x10000, 8)
+	k := &kernel.Kernel{Name: "big", Units: []kernel.Unit{
+		&kernel.VectorLoop{Name: "v1", Body: []kernel.Stmt{
+			{Dst: out, E: &kernel.Un{Op: kernel.Sqrt, X: &kernel.Ref{Arr: data}}},
+			{Reduce: "acc", E: &kernel.Gather{Data: data, Index: idx}},
+		}},
+		&kernel.ScalarLoop{Name: "s1", Loads: 2, Stores: 1, IntOps: 3, FPOps: 2},
+	}}
+	c := mustCompile(t, k)
+	var p *prog.Program = c.Prog
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

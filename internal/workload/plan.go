@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+
+	"mtvec/internal/vcomp"
+)
+
+// interleaveGroups controls how finely the planner interleaves the
+// benchmark's phases; real programs alternate their kernels inside outer
+// timestep loops, and the interleaving matters once several workloads
+// share a multithreaded machine.
+const interleaveGroups = 32
+
+// plan solves the invocation schedule that hits the spec's Table 3
+// targets at the requested scale.
+//
+// For each vector phase it chooses how many invocations reproduce the
+// phase's share of the vector-operation target (plus one partial
+// invocation for the remainder), then soaks the remaining scalar-
+// instruction budget with iterations of the "serial" loop. It fails if
+// the vector loops' own control overhead already exceeds the scalar
+// budget by more than 10% — that means the recipe's loop bodies are too
+// small for the program being modelled.
+func plan(c *vcomp.Compiled, s *Spec, phases []phase, scale float64) ([]vcomp.Invocation, error) {
+	opsTarget := s.OpsM * 1e6 * scale
+	scalarTarget := s.ScalarM * 1e6 * scale
+
+	var shareSum float64
+	for _, ph := range phases {
+		shareSum += ph.share
+	}
+	if len(phases) == 0 || shareSum < 0.99 || shareSum > 1.01 {
+		return nil, fmt.Errorf("phase shares sum to %.3f, want 1", shareSum)
+	}
+
+	type phasePlan struct {
+		unit     int
+		n        int64
+		full     int64 // full invocations
+		partialN int64 // trip count of one final partial invocation (0 = none)
+	}
+	plans := make([]phasePlan, 0, len(phases))
+	var scalarSpent float64
+
+	for _, ph := range phases {
+		unit := c.UnitIndex(ph.unit)
+		if unit < 0 {
+			return nil, fmt.Errorf("phase names unknown unit %q", ph.unit)
+		}
+		scInv, vecInv, opsInv := c.EstimateInvocation(unit, ph.n)
+		if vecInv == 0 || opsInv == 0 {
+			return nil, fmt.Errorf("unit %q is not a vector loop", ph.unit)
+		}
+		want := opsTarget * ph.share
+		full := int64(want / float64(opsInv))
+		rem := want - float64(full)*float64(opsInv)
+		opsPerElem := float64(opsInv) / float64(ph.n)
+		partialN := int64(rem / opsPerElem)
+		pp := phasePlan{unit: unit, n: ph.n, full: full, partialN: partialN}
+		plans = append(plans, pp)
+
+		scalarSpent += float64(full * scInv)
+		if partialN > 0 {
+			scP, _, _ := c.EstimateInvocation(unit, partialN)
+			scalarSpent += float64(scP)
+		}
+	}
+
+	// Serial-loop budget.
+	serial := c.UnitIndex("serial")
+	if serial < 0 {
+		return nil, fmt.Errorf("kernel has no serial loop")
+	}
+	residual := scalarTarget - scalarSpent
+	if residual < -0.10*scalarTarget {
+		return nil, fmt.Errorf("vector loop control overhead (%.0f) exceeds scalar budget (%.0f); enlarge loop bodies",
+			scalarSpent, scalarTarget)
+	}
+	sc1, _, _ := c.EstimateInvocation(serial, 1)
+	sc2, _, _ := c.EstimateInvocation(serial, 2)
+	perIter := sc2 - sc1
+	entry := sc1 - perIter
+	var serialIters int64
+	if residual > float64(entry) && perIter > 0 {
+		serialIters = int64(residual / float64(perIter))
+	}
+
+	// Interleave: split every phase's invocations (and the serial
+	// iterations) across interleaveGroups rounds.
+	groups := int64(interleaveGroups)
+	var sched []vcomp.Invocation
+	for g := int64(0); g < groups; g++ {
+		for _, pp := range plans {
+			count := pp.full / groups
+			if g < pp.full%groups {
+				count++
+			}
+			for i := int64(0); i < count; i++ {
+				sched = append(sched, vcomp.Invocation{Unit: pp.unit, N: pp.n})
+			}
+		}
+		iters := serialIters / groups
+		if g < serialIters%groups {
+			iters++
+		}
+		if iters > 0 {
+			sched = append(sched, vcomp.Invocation{Unit: serial, N: iters})
+		}
+	}
+	for _, pp := range plans {
+		if pp.partialN > 0 {
+			sched = append(sched, vcomp.Invocation{Unit: pp.unit, N: pp.partialN})
+		}
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("empty schedule at scale %g; increase scale", scale)
+	}
+	return sched, nil
+}

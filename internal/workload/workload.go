@@ -1,0 +1,176 @@
+// Package workload reconstructs the paper's ten Perfect Club / SPECfp92
+// benchmark programs (Table 3) as synthetic kernels calibrated to the
+// published dynamic profiles: scalar instruction count, vector
+// instruction count, vector operation count, degree of vectorization and
+// average vector length.
+//
+// The real programs cannot be traced without a Convex C3480 and its
+// Fortran compiler; per DESIGN.md the substitution preserves the
+// quantities the paper's effects depend on. Each workload is a kernel of
+// domain-flavoured vector loops (stencils, axpy, reductions,
+// gather/scatter, strided column walks) plus a serial loop, with an
+// invocation schedule solved by the calibration planner in plan.go.
+package workload
+
+import (
+	"fmt"
+
+	"mtvec/internal/kernel"
+	"mtvec/internal/prog"
+	"mtvec/internal/trace"
+	"mtvec/internal/vcomp"
+)
+
+// DefaultScale is the fraction of the paper's dynamic instruction counts
+// the standard reproduction uses (Table 3 counts are in millions; 1e-3
+// keeps every ratio intact at roughly thousandth size).
+const DefaultScale = 1e-3
+
+// Spec describes one benchmark program: its Table 3 row and the kernel
+// construction recipe.
+type Spec struct {
+	Name  string // paper name, e.g. "swm256"
+	Short string // paper's two-letter tag, e.g. "sw"
+	Suite string // "Spec" or "Perf."
+
+	// Table 3 columns, in millions of instructions/operations.
+	ScalarM float64
+	VectorM float64
+	OpsM    float64
+	PctVect float64 // published degree of vectorization (%)
+	AvgVL   float64 // published average vector length
+
+	build func() (*kernel.Kernel, []phase)
+}
+
+// phase is one vector loop of the recipe: trip count per invocation and
+// the share of the program's total vector operations it contributes.
+type phase struct {
+	unit  string
+	n     int64
+	share float64
+}
+
+// Workload is a built benchmark: the compiled program, its full trace at
+// the requested scale, and the measured dynamic statistics.
+type Workload struct {
+	Spec  *Spec
+	Scale float64
+	Trace *trace.Trace
+	Stats prog.Stats
+}
+
+// Build compiles the benchmark and solves the invocation schedule for the
+// given scale.
+func (s *Spec) Build(scale float64) (*Workload, error) {
+	return s.BuildOpts(scale, vcomp.Options{})
+}
+
+// BuildOpts is Build with explicit compiler options (the ext-compiler
+// ablation builds the suite with load hoisting disabled).
+func (s *Spec) BuildOpts(scale float64, opts vcomp.Options) (*Workload, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("workload: %s: non-positive scale %g", s.Name, scale)
+	}
+	k, phases := s.build()
+	k.Units = append(k.Units, serialLoop())
+	c, err := vcomp.CompileOpts(k, opts)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", s.Name, err)
+	}
+	sched, err := plan(c, s, phases, scale)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", s.Name, err)
+	}
+	tr, err := c.Trace(sched)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", s.Name, err)
+	}
+	_, st, err := tr.Stream().Drain()
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: generated trace does not replay: %w", s.Name, err)
+	}
+	return &Workload{Spec: s, Scale: scale, Trace: tr, Stats: st}, nil
+}
+
+// Stream returns a fresh dynamic instruction stream of the workload.
+func (w *Workload) Stream() *prog.Stream { return w.Trace.Stream() }
+
+// serialLoop is the standard non-vectorized loop used for every
+// benchmark's scalar portion: 2 loads and 1 store per 9 instructions,
+// reproducing the paper's observation that scalar loops sustain at most
+// about 1/3 memory-port occupation (Section 6.2).
+func serialLoop() *kernel.ScalarLoop {
+	return &kernel.ScalarLoop{Name: "serial", Loads: 2, Stores: 1, IntOps: 2, FPOps: 1}
+}
+
+// BuildAll builds every benchmark at the given scale, in Table 3 order.
+func BuildAll(scale float64) ([]*Workload, error) {
+	specs := Specs()
+	out := make([]*Workload, 0, len(specs))
+	for _, s := range specs {
+		w, err := s.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// ByShort returns the spec with the given two-letter tag, or nil.
+func ByShort(short string) *Spec {
+	for _, s := range Specs() {
+		if s.Short == short {
+			return s
+		}
+	}
+	return nil
+}
+
+// ByName returns the spec with the given program name, or nil.
+func ByName(name string) *Spec {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// QueueOrder returns the ten specs in the fixed random order of the
+// paper's Section 7 job-queue benchmark: TF SW SU TI TO A7 HY NA SR SD.
+func QueueOrder() []*Spec {
+	order := []string{"tf", "sw", "su", "ti", "to", "a7", "hy", "na", "sr", "sd"}
+	out := make([]*Spec, len(order))
+	for i, sh := range order {
+		out[i] = ByShort(sh)
+	}
+	return out
+}
+
+// Groupings reconstructs Table 2: the randomly-selected companion
+// programs for the 2-, 3- and 4-thread speedup experiments. Column 2 is
+// taken from the paper's Figure 7 caption (hydro2d's five companions);
+// columns 3 and 4 are documented reconstructions (DESIGN.md).
+type Groupings struct {
+	Col2 []*Spec // 2-thread companions (5 programs)
+	Col3 []*Spec // additional 3rd-thread programs (2)
+	Col4 []*Spec // additional 4th-thread program (1)
+}
+
+// DefaultGroupings returns the Table 2 reconstruction.
+func DefaultGroupings() Groupings {
+	pick := func(shorts ...string) []*Spec {
+		out := make([]*Spec, len(shorts))
+		for i, sh := range shorts {
+			out[i] = ByShort(sh)
+		}
+		return out
+	}
+	return Groupings{
+		Col2: pick("hy", "na", "su", "to", "sw"),
+		Col3: pick("tf", "a7"),
+		Col4: pick("sr"),
+	}
+}

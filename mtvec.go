@@ -1,0 +1,320 @@
+// Package mtvec is a library reproduction of "Multithreaded Vector
+// Architectures" (Espasa & Valero, HPCA-3, 1997): a trace-driven,
+// cycle-accurate model of a Convex C3400-class vector processor and its
+// multithreaded extension, together with calibrated reconstructions of
+// the paper's ten Perfect Club / SPECfp92 benchmarks and a harness that
+// regenerates every table and figure of the evaluation.
+//
+// # Quick start
+//
+//	w, _ := mtvec.WorkloadByShort("tf").Build(mtvec.DefaultScale)
+//	cfg := mtvec.DefaultConfig()        // reference machine, latency 50
+//	rep, _ := mtvec.RunSolo(w, cfg)
+//	fmt.Println(rep.Cycles, rep.MemOccupation())
+//
+// Multithread it:
+//
+//	cfg.Contexts = 2
+//	rep2, _ := mtvec.RunGroup(w, []*mtvec.Workload{companion}, cfg)
+//
+// Define your own kernels with the kernel IR (Array, VectorLoop, ...),
+// compile them with CompileKernel, and simulate the resulting traces; or
+// regenerate the paper's evaluation with Experiments and NewEnv.
+package mtvec
+
+import (
+	"fmt"
+	"io"
+
+	"mtvec/internal/core"
+	"mtvec/internal/experiments"
+	"mtvec/internal/isa"
+	"mtvec/internal/kernel"
+	"mtvec/internal/memsys"
+	"mtvec/internal/prog"
+	"mtvec/internal/report"
+	"mtvec/internal/sched"
+	"mtvec/internal/stats"
+	"mtvec/internal/trace"
+	"mtvec/internal/vcomp"
+	"mtvec/internal/workload"
+)
+
+// Machine model.
+type (
+	// Config selects a machine variant (contexts, latencies, memory,
+	// policy, dual-scalar mode).
+	Config = core.Config
+	// Machine is one single-use simulation instance.
+	Machine = core.Machine
+	// Stop tells Run when to finish.
+	Stop = core.Stop
+	// JobQueue feeds a fixed job list to any number of contexts.
+	JobQueue = core.JobQueue
+	// Report carries a run's metrics.
+	Report = stats.Report
+	// ThreadReport is per-context progress accounting.
+	ThreadReport = stats.ThreadReport
+	// Span is one Figure 9 execution-profile segment.
+	Span = stats.Span
+	// LatencyTable is the Table 1 latency set.
+	LatencyTable = isa.LatencyTable
+	// MemConfig configures the memory subsystem.
+	MemConfig = memsys.Config
+	// Policy is a thread-switch policy.
+	Policy = sched.Policy
+)
+
+// Workloads.
+type (
+	// Workload is a built benchmark: compiled program, trace, statistics.
+	Workload = workload.Workload
+	// WorkloadSpec is a benchmark recipe with its Table 3 targets.
+	WorkloadSpec = workload.Spec
+	// ProgramStats is the dynamic operation accounting (Table 3 columns).
+	ProgramStats = prog.Stats
+	// Trace is a captured execution (the Dixie-analogue container).
+	Trace = trace.Trace
+	// Stream is a dynamic instruction stream consumed by machines.
+	Stream = prog.Stream
+)
+
+// Kernel IR and compiler, for user-defined programs.
+type (
+	Array      = kernel.Array
+	Expr       = kernel.Expr
+	Ref        = kernel.Ref
+	Gather     = kernel.Gather
+	ScalarArg  = kernel.ScalarArg
+	Bin        = kernel.Bin
+	Un         = kernel.Un
+	Stmt       = kernel.Stmt
+	VectorLoop = kernel.VectorLoop
+	ScalarLoop = kernel.ScalarLoop
+	Kernel     = kernel.Kernel
+	// Compiled is a kernel lowered to an ISA program plus trace
+	// emission metadata.
+	Compiled = vcomp.Compiled
+	// Invocation requests one loop execution with a trip count.
+	Invocation = vcomp.Invocation
+)
+
+// Kernel operators.
+const (
+	Add  = kernel.Add
+	Sub  = kernel.Sub
+	Mul  = kernel.Mul
+	Div  = kernel.Div
+	Sqrt = kernel.Sqrt
+)
+
+// Experiment harness.
+type (
+	// Experiment reproduces one paper table/figure or an ablation.
+	Experiment = experiments.Experiment
+	// ExperimentResult is a reproduced artifact.
+	ExperimentResult = experiments.Result
+	// Env memoizes workloads and runs across experiments.
+	Env = experiments.Env
+	// Table is a renderable result grid.
+	Table = report.Table
+)
+
+// DefaultScale is the standard reproduction scale: Table 3 counts are in
+// millions; workloads are built at 1/1000 of them.
+const DefaultScale = workload.DefaultScale
+
+// DefaultConfig returns the reference architecture (1 context, 50-cycle
+// memory latency, Table 1 latencies).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewMachine builds a machine.
+func NewMachine(cfg Config) (*Machine, error) { return core.New(cfg) }
+
+// Workloads returns the ten benchmark specs in Table 3 order.
+func Workloads() []*WorkloadSpec { return workload.Specs() }
+
+// WorkloadByShort looks a spec up by its two-letter tag (sw, hy, ...).
+func WorkloadByShort(short string) *WorkloadSpec { return workload.ByShort(short) }
+
+// WorkloadByName looks a spec up by program name (swm256, ...).
+func WorkloadByName(name string) *WorkloadSpec { return workload.ByName(name) }
+
+// QueueOrder returns the Section 7 fixed job order.
+func QueueOrder() []*WorkloadSpec { return workload.QueueOrder() }
+
+// PolicyByName returns a thread-switch policy ("unfair", "roundrobin",
+// "everycycle", "lru"), or nil.
+func PolicyByName(name string) Policy { return sched.ByName(name) }
+
+// PolicyNames lists the available policies.
+func PolicyNames() []string { return sched.Names() }
+
+// CompileKernel lowers a kernel to a compiled program.
+func CompileKernel(k *Kernel) (*Compiled, error) { return vcomp.Compile(k) }
+
+// NewEnv creates an experiment environment at the given scale.
+func NewEnv(scale float64) *Env { return experiments.NewEnv(scale) }
+
+// Experiments returns every reproduction experiment in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns one experiment ("table3", "fig10", ...), or nil.
+func ExperimentByID(id string) *Experiment { return experiments.ByID(id) }
+
+// ExperimentIDs lists the experiment identifiers.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunSolo runs one workload to completion on a machine built from cfg.
+func RunSolo(w *Workload, cfg Config) (*Report, error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetThreadStream(0, w.Spec.Short, w.Stream()); err != nil {
+		return nil, err
+	}
+	return m.Run(core.Stop{})
+}
+
+// RunGroup reproduces the Section 4.1 grouped methodology: primary runs
+// once on thread 0 while companions restart until it completes.
+// cfg.Contexts must equal 1+len(companions).
+func RunGroup(primary *Workload, companions []*Workload, cfg Config) (*Report, error) {
+	if cfg.Contexts != 1+len(companions) {
+		return nil, fmt.Errorf("mtvec: %d contexts for %d programs", cfg.Contexts, 1+len(companions))
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetThreadStream(0, primary.Spec.Short, primary.Stream()); err != nil {
+		return nil, err
+	}
+	for i, comp := range companions {
+		comp := comp
+		err := m.SetThread(i+1, core.Repeat(comp.Spec.Short, func() *prog.Stream { return comp.Stream() }))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m.Run(core.Stop{Thread0Complete: true})
+}
+
+// RunQueue reproduces the Section 7 methodology: the workloads form a
+// job queue drained by all contexts; the run ends when every job is done.
+func RunQueue(ws []*Workload, cfg Config) (*Report, error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	q := core.NewJobQueue()
+	for _, w := range ws {
+		w := w
+		q.Add(w.Spec.Short, func() *prog.Stream { return w.Stream() })
+	}
+	src := q.Source()
+	for i := 0; i < cfg.Contexts; i++ {
+		if err := m.SetThread(i, src); err != nil {
+			return nil, err
+		}
+	}
+	return m.Run(core.Stop{})
+}
+
+// RunCompiled runs a user-compiled kernel under the given invocation
+// schedule on a machine built from cfg (thread 0 only).
+func RunCompiled(c *Compiled, schedule []Invocation, cfg Config) (*Report, error) {
+	tr, err := c.Trace(schedule)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetThreadStream(0, c.Prog.Name, tr.Stream()); err != nil {
+		return nil, err
+	}
+	return m.Run(core.Stop{})
+}
+
+// IdealCycles returns the paper's IDEAL lower bound for a set of
+// workloads: the busy time of the most saturated resource with all
+// dependences removed.
+func IdealCycles(ws ...*Workload) int64 {
+	all := make([]prog.Stats, len(ws))
+	for i, w := range ws {
+		all[i] = w.Stats
+	}
+	return core.IdealCycles(all...)
+}
+
+// RenderResult writes an experiment result as aligned text.
+func RenderResult(w io.Writer, res *ExperimentResult) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", res.Title); err != nil {
+		return err
+	}
+	for _, t := range res.Tables {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range res.Charts {
+		if _, err := fmt.Fprintf(w, "\n%s", c); err != nil {
+			return err
+		}
+	}
+	for _, n := range res.Notes {
+		if _, err := fmt.Fprintf(w, "\nnote: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderResultMarkdown writes an experiment result as markdown.
+func RenderResultMarkdown(w io.Writer, res *ExperimentResult) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", res.Title); err != nil {
+		return err
+	}
+	for _, t := range res.Tables {
+		if err := t.Markdown(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range res.Charts {
+		if _, err := fmt.Fprintf(w, "```\n%s```\n\n", c); err != nil {
+			return err
+		}
+	}
+	for _, n := range res.Notes {
+		if _, err := fmt.Fprintf(w, "> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// DynInst is one dynamic instruction of a stream.
+type DynInst = isa.DynInst
+
+// TraceStats replays a trace and returns its dynamic statistics and
+// instruction count.
+func TraceStats(t *Trace) (ProgramStats, int64, error) {
+	n, st, err := t.Stream().Drain()
+	return st, n, err
+}
+
+// EncodeTrace / DecodeTrace expose the Dixie-analogue trace container.
+func EncodeTrace(w io.Writer, t *Trace) error { return t.Encode(w) }
+
+// DecodeTrace reads a trace written by EncodeTrace.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
