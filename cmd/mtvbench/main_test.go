@@ -1,23 +1,71 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	for _, format := range []string{"text", "markdown"} {
-		if err := run("table1,table2", 1e-4, format, true); err != nil {
+		var buf bytes.Buffer
+		if err := run(&buf, "table1,table2", 1e-4, format, 2, true); err != nil {
 			t.Errorf("format %s: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %s: no output", format)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 1e-4, "text", true); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 1e-4, "text", 1, true); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("err = %v", err)
 	}
-	if err := run("table1", 1e-4, "pdf", true); err == nil || !strings.Contains(err.Error(), "unknown format") {
+	if err := run(&buf, "table1", 1e-4, "pdf", 1, true); err == nil || !strings.Contains(err.Error(), "unknown format") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestParallelOutputByteIdentical is the acceptance check: the same
+// experiment subset rendered with -jobs 1 and -jobs 8 must produce
+// byte-identical stdout.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	const exps = "table3,fig4,fig5,fig9,ext-banks"
+	var serial, parallel bytes.Buffer
+	if err := run(&serial, exps, 1e-4, "text", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&parallel, exps, 1e-4, "text", 8, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatal("-jobs 8 output differs from -jobs 1")
+	}
+	if serial.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestCatalogListsEveryExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	writeCatalog(&buf)
+	out := buf.String()
+	ids := []string{
+		"table1", "table2", "table3",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"ext-policies", "ext-ports", "ext-banks", "ext-issue", "ext-compiler",
+	}
+	for _, id := range ids {
+		if !strings.Contains(out, "## `"+id+"`") {
+			t.Errorf("catalog missing experiment %q", id)
+		}
+		if !strings.Contains(out, "-exp "+id) {
+			t.Errorf("catalog missing regen command for %q", id)
+		}
+	}
+	if !strings.Contains(out, "mtvbench -catalog") {
+		t.Error("catalog missing its own regeneration note")
 	}
 }

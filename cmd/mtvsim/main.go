@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"mtvec"
@@ -35,36 +36,33 @@ func main() {
 		issue    = flag.Int("issue", 1, "decode slots per cycle")
 		mode     = flag.String("mode", "solo", "solo | group | queue")
 		scale    = flag.Float64("scale", mtvec.DefaultScale, "workload scale relative to Table 3 millions")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "max concurrent workload builds")
 		spans    = flag.Bool("spans", false, "print the per-thread execution profile")
 		states   = flag.Bool("states", false, "print the 8-state breakdown")
 	)
 	flag.Parse()
 
-	if err := run(*programs, *contexts, *latency, *scalarL, *xbar, *policy, *dual, *issue, *mode, *scale, *spans, *states); err != nil {
+	if err := run(*programs, *contexts, *latency, *scalarL, *xbar, *policy, *dual, *issue, *mode, *scale, *jobs, *spans, *states); err != nil {
 		fmt.Fprintln(os.Stderr, "mtvsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(programs string, contexts, latency, scalarL, xbar int, policy string, dual bool, issue int, mode string, scale float64, spans, states bool) error {
-	var ws []*mtvec.Workload
+func run(programs string, contexts, latency, scalarL, xbar int, policy string, dual bool, issue int, mode string, scale float64, jobs int, spans, states bool) error {
+	var tags []string
 	for _, tag := range strings.Split(programs, ",") {
-		tag = strings.TrimSpace(tag)
-		spec := mtvec.WorkloadByShort(tag)
-		if spec == nil {
-			spec = mtvec.WorkloadByName(tag)
+		if tag = strings.TrimSpace(tag); tag != "" {
+			tags = append(tags, tag)
 		}
-		if spec == nil {
-			return fmt.Errorf("unknown program %q", tag)
-		}
-		w, err := spec.Build(scale)
-		if err != nil {
-			return err
-		}
-		ws = append(ws, w)
 	}
-	if len(ws) == 0 {
+	if len(tags) == 0 {
 		return fmt.Errorf("no programs given")
+	}
+	// Trace reconstruction is the expensive part of a short run; build
+	// the programs concurrently.
+	ws, err := mtvec.BuildWorkloads(tags, scale, jobs)
+	if err != nil {
+		return err
 	}
 
 	cfg := mtvec.DefaultConfig()
@@ -82,7 +80,6 @@ func run(programs string, contexts, latency, scalarL, xbar int, policy string, d
 	}
 
 	var rep *mtvec.Report
-	var err error
 	switch mode {
 	case "solo":
 		rep, err = mtvec.RunSolo(ws[0], cfg)

@@ -13,7 +13,7 @@ func TestRunModes(t *testing.T) {
 		if mode != "solo" {
 			contexts = 2
 		}
-		err := run("tf,sd", contexts, 50, 4, 2, "unfair", false, 1, mode, testScale, true, true)
+		err := run("tf,sd", contexts, 50, 4, 2, "unfair", false, 1, mode, testScale, 2, true, true)
 		if err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
@@ -21,7 +21,7 @@ func TestRunModes(t *testing.T) {
 }
 
 func TestRunDualScalar(t *testing.T) {
-	if err := run("tf,sd", 2, 50, 4, 2, "unfair", true, 1, "queue", testScale, false, false); err != nil {
+	if err := run("tf,sd", 2, 50, 4, 2, "unfair", true, 1, "queue", testScale, 2, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,7 +38,7 @@ func TestRunErrors(t *testing.T) {
 		{"tf,sw", "unfair", "group", 1, "contexts"},
 	}
 	for _, c := range cases {
-		err := run(c.programs, c.contexts, 50, 4, 2, c.policy, false, 1, c.mode, testScale, false, false)
+		err := run(c.programs, c.contexts, 50, 4, 2, c.policy, false, 1, c.mode, testScale, 2, false, false)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%+v: err = %v, want containing %q", c, err, c.want)
 		}
@@ -46,7 +46,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunByFullName(t *testing.T) {
-	if err := run("flo52", 1, 20, 4, 2, "unfair", false, 1, "solo", testScale, false, false); err != nil {
+	if err := run("flo52", 1, 20, 4, 2, "unfair", false, 1, "solo", testScale, 2, false, false); err != nil {
 		t.Fatal(err)
 	}
 }

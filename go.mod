@@ -1,0 +1,3 @@
+module mtvec
+
+go 1.24

@@ -18,6 +18,17 @@
 // decode units sharing one vector facility) and the paper's future-work
 // knobs (multi-thread issue, multiple memory ports via memsys) are
 // included.
+//
+// # Concurrency and determinism
+//
+// A Machine is single-use and not safe for concurrent use, but a run is
+// a pure function of its Config and input streams: the same inputs
+// always produce the same Report, cycle for cycle. Distinct Machines
+// share no mutable state (give each its own Config.Policy instance —
+// sched.ByName returns a fresh one — since policies may carry per-run
+// state), so the experiment engine (internal/runner) simulates many
+// Machines in parallel and still gets byte-identical results at any
+// worker count.
 package core
 
 import (

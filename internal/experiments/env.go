@@ -4,59 +4,110 @@
 // workload builds and simulation runs, because several figures share the
 // same underlying data (Figures 6-8 share the grouped runs; Figures 10
 // and 12 share the job-queue sweeps).
+//
+// # Concurrency and determinism
+//
+// Env is safe for concurrent use: every memo table is a singleflight
+// cache (internal/runner), so a simulation point requested by several
+// experiments at once is simulated exactly once and the result shared.
+// RunSuite fans the suite out over a worker pool — first the experiments'
+// declared sweep points (Experiment.Points), then the experiments
+// themselves — and collects results in registry order. Because each
+// simulation is a pure function of its (workload, config) key, the
+// rendered output is byte-identical for any worker count, including 1.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"mtvec/internal/core"
 	"mtvec/internal/memsys"
 	"mtvec/internal/prog"
+	"mtvec/internal/runner"
 	"mtvec/internal/sched"
 	"mtvec/internal/stats"
+	"mtvec/internal/vcomp"
 	"mtvec/internal/workload"
 )
 
 // Env caches workloads and simulation results for one reproduction scale.
+// All methods are safe for concurrent use; each distinct simulation runs
+// exactly once per Env regardless of how many goroutines request it.
 type Env struct {
 	Scale float64
 
-	workloads map[string]*workload.Workload
-	refs      map[refKey]*stats.Report
-	queues    map[queueKey]*stats.Report
-	grouped   []GroupedRun
+	jobs atomic.Int64 // sweep concurrency bound
+	sims atomic.Int64 // machine runs actually executed
+	// gate admits at most Jobs() concurrent leaf sections (workload
+	// builds and machine runs). Orchestration layers above may spawn
+	// freely; parked goroutines hold no slot, so the -jobs bound on
+	// concurrent simulations holds across nested fan-outs.
+	gate *runner.Gate
+
+	workloads runner.Cache[string, *workload.Workload]
+	refs      runner.Cache[refKey, *stats.Report]
+	partials  runner.Cache[partialKey, int64]
+	queues    runner.Cache[queueKey, *stats.Report]
+	naive     runner.Cache[struct{}, []*workload.Workload]
+	naiveQs   runner.Cache[[2]int, *stats.Report]
+	grouped   runner.Cache[struct{}, []GroupedRun]
 }
 
-// NewEnv creates an environment at the given workload scale.
+// NewEnv creates an environment at the given workload scale. Internal
+// sweeps (GroupedRuns) parallelize over runtime.NumCPU() workers; use
+// SetJobs to change that.
 func NewEnv(scale float64) *Env {
-	return &Env{
-		Scale:     scale,
-		workloads: make(map[string]*workload.Workload),
-		refs:      make(map[refKey]*stats.Report),
-		queues:    make(map[queueKey]*stats.Report),
-	}
+	e := &Env{Scale: scale, gate: runner.NewGate(0)}
+	e.SetJobs(0)
+	return e
 }
+
+// SetJobs bounds how many simulations (and workload builds) may execute
+// concurrently; n <= 0 selects runtime.NumCPU(). Results do not depend
+// on the setting.
+func (e *Env) SetJobs(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	e.jobs.Store(int64(n))
+	e.gate.SetLimit(n)
+}
+
+// Jobs returns the Env's simulation concurrency bound.
+func (e *Env) Jobs() int { return int(e.jobs.Load()) }
+
+// Simulations returns how many machine runs this Env has executed (cache
+// misses, not requests) — the quantity the memoization exists to bound.
+func (e *Env) Simulations() int64 { return e.sims.Load() }
+
+// BusyTime returns the cumulative wall time spent inside simulations and
+// workload builds — the serial-equivalent cost of the Env's work.
+func (e *Env) BusyTime() time.Duration { return e.gate.Busy() }
 
 type refKey struct {
 	short   string
 	latency int
 }
 
+type partialKey struct {
+	short   string
+	latency int
+	insts   int64
+}
+
 // W builds (once) and returns the workload with the given short tag.
 func (e *Env) W(short string) (*workload.Workload, error) {
-	if w, ok := e.workloads[short]; ok {
-		return w, nil
-	}
-	spec := workload.ByShort(short)
-	if spec == nil {
-		return nil, fmt.Errorf("experiments: unknown workload %q", short)
-	}
-	w, err := spec.Build(e.Scale)
-	if err != nil {
-		return nil, err
-	}
-	e.workloads[short] = w
-	return w, nil
+	return e.workloads.Do(short, func() (w *workload.Workload, err error) {
+		spec := workload.ByShort(short)
+		if spec == nil {
+			return nil, fmt.Errorf("experiments: unknown workload %q", short)
+		}
+		e.gate.Do(func() { w, err = spec.Build(e.Scale) })
+		return w, err
+	})
 }
 
 // refConfig is the reference architecture at the given memory latency.
@@ -68,27 +119,27 @@ func refConfig(latency int) core.Config {
 
 // RefReport runs (once) the program alone on the reference architecture.
 func (e *Env) RefReport(short string, latency int) (*stats.Report, error) {
-	k := refKey{short, latency}
-	if r, ok := e.refs[k]; ok {
-		return r, nil
-	}
-	w, err := e.W(short)
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(refConfig(latency))
-	if err != nil {
-		return nil, err
-	}
-	if err := m.SetThreadStream(0, short, w.Stream()); err != nil {
-		return nil, err
-	}
-	rep, err := m.Run(core.Stop{})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: reference run of %s: %w", short, err)
-	}
-	e.refs[k] = rep
-	return rep, nil
+	return e.refs.Do(refKey{short, latency}, func() (rep *stats.Report, err error) {
+		w, err := e.W(short)
+		if err != nil {
+			return nil, err
+		}
+		e.gate.Do(func() {
+			var m *core.Machine
+			if m, err = core.New(refConfig(latency)); err != nil {
+				return
+			}
+			if err = m.SetThreadStream(0, short, w.Stream()); err != nil {
+				return
+			}
+			e.sims.Add(1)
+			rep, err = m.Run(core.Stop{})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: reference run of %s: %w", short, err)
+		}
+		return rep, nil
+	})
 }
 
 // RefCycles is the reference execution time C_i of Section 4.1.
@@ -106,22 +157,27 @@ func (e *Env) RefPartialCycles(short string, latency int, insts int64) (int64, e
 	if insts <= 0 {
 		return 0, nil
 	}
-	w, err := e.W(short)
-	if err != nil {
-		return 0, err
-	}
-	m, err := core.New(refConfig(latency))
-	if err != nil {
-		return 0, err
-	}
-	if err := m.SetThreadStream(0, short, w.Stream()); err != nil {
-		return 0, err
-	}
-	rep, err := m.Run(core.Stop{MaxThread0Insts: insts})
-	if err != nil {
-		return 0, err
-	}
-	return rep.Cycles, nil
+	return e.partials.Do(partialKey{short, latency, insts}, func() (cycles int64, err error) {
+		w, err := e.W(short)
+		if err != nil {
+			return 0, err
+		}
+		e.gate.Do(func() {
+			var m *core.Machine
+			if m, err = core.New(refConfig(latency)); err != nil {
+				return
+			}
+			if err = m.SetThreadStream(0, short, w.Stream()); err != nil {
+				return
+			}
+			e.sims.Add(1)
+			var rep *stats.Report
+			if rep, err = m.Run(core.Stop{MaxThread0Insts: insts}); err == nil {
+				cycles = rep.Cycles
+			}
+		})
+		return cycles, err
+	})
 }
 
 // QueueSpec selects one Section 7 job-queue run: all ten programs in the
@@ -194,26 +250,80 @@ func (s QueueSpec) config() (core.Config, error) {
 
 // QueueRun executes (once) the ten-program job queue under the spec.
 func (e *Env) QueueRun(s QueueSpec) (*stats.Report, error) {
-	k := s.key()
-	if r, ok := e.queues[k]; ok {
-		return r, nil
-	}
-	cfg, err := s.config()
-	if err != nil {
-		return nil, err
-	}
+	return e.queues.Do(s.key(), func() (rep *stats.Report, err error) {
+		cfg, err := s.config()
+		if err != nil {
+			return nil, err
+		}
+		ws := make([]*workload.Workload, 0, len(workload.QueueOrder()))
+		for _, spec := range workload.QueueOrder() {
+			w, err := e.W(spec.Short)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, w)
+		}
+		e.gate.Do(func() {
+			e.sims.Add(1)
+			rep, err = runQueueOn(ws, cfg)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: queue run (%d ctx, lat %d): %w", s.Contexts, s.Latency, err)
+		}
+		return rep, nil
+	})
+}
+
+// NaiveSuite builds (once) the queue-order workloads with the compiler's
+// load hoisting disabled — the ext-compiler counterfactual.
+func (e *Env) NaiveSuite() ([]*workload.Workload, error) {
+	return e.naive.Do(struct{}{}, func() ([]*workload.Workload, error) {
+		specs := workload.QueueOrder()
+		out := make([]*workload.Workload, len(specs))
+		pool := runner.New(4 * e.Jobs())
+		err := pool.Map(len(specs), func(i int) (err error) {
+			e.gate.Do(func() { out[i], err = specs[i].BuildOpts(e.Scale, vcomp.Options{NoHoist: true}) })
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}
+
+// NaiveQueueRun executes (once) the job queue built by the naive
+// (no-hoist) compiler on the reference-style machine.
+func (e *Env) NaiveQueueRun(contexts, latency int) (*stats.Report, error) {
+	return e.naiveQs.Do([2]int{contexts, latency}, func() (rep *stats.Report, err error) {
+		ws, err := e.NaiveSuite()
+		if err != nil {
+			return nil, err
+		}
+		cfg := refConfig(latency)
+		cfg.Contexts = contexts
+		e.gate.Do(func() {
+			e.sims.Add(1)
+			rep, err = runQueueOn(ws, cfg)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: naive queue run (%d ctx, lat %d): %w", contexts, latency, err)
+		}
+		return rep, nil
+	})
+}
+
+// runQueueOn runs prebuilt workloads as a job queue on a machine built
+// from cfg.
+func runQueueOn(ws []*workload.Workload, cfg core.Config) (*stats.Report, error) {
 	m, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	q := core.NewJobQueue()
-	for _, spec := range workload.QueueOrder() {
-		w, err := e.W(spec.Short)
-		if err != nil {
-			return nil, err
-		}
-		name := spec.Short
-		q.Add(name, func() *prog.Stream { return w.Stream() })
+	for _, w := range ws {
+		w := w
+		q.Add(w.Spec.Short, func() *prog.Stream { return w.Stream() })
 	}
 	src := q.Source()
 	for i := 0; i < cfg.Contexts; i++ {
@@ -221,12 +331,7 @@ func (e *Env) QueueRun(s QueueSpec) (*stats.Report, error) {
 			return nil, err
 		}
 	}
-	rep, err := m.Run(core.Stop{})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: queue run (%d ctx, lat %d): %w", s.Contexts, s.Latency, err)
-	}
-	e.queues[k] = rep
-	return rep, nil
+	return m.Run(core.Stop{})
 }
 
 // SuiteDemand merges the ten programs' demand statistics (for the IDEAL
@@ -259,70 +364,91 @@ type GroupedRun struct {
 
 // GroupedRuns produces (once) the full Table 2 experiment set: for every
 // program, 5 two-thread, 10 three-thread and 10 four-thread groupings at
-// 50-cycle memory latency.
+// 50-cycle memory latency. The groupings are simulated concurrently on
+// the Env's worker budget; the returned slice is always in the same
+// deterministic enumeration order.
 func (e *Env) GroupedRuns() ([]GroupedRun, error) {
-	if e.grouped != nil {
-		return e.grouped, nil
-	}
-	const latency = 50
-	g := workload.DefaultGroupings()
-	var runs []GroupedRun
+	return e.grouped.Do(struct{}{}, func() ([]GroupedRun, error) {
+		const latency = 50
+		g := workload.DefaultGroupings()
+		var runs []GroupedRun
 
-	for _, primary := range workload.Specs() {
-		// 2 threads: primary + each column-2 program.
-		for _, c2 := range g.Col2 {
-			runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short}})
-		}
-		// 3 threads: primary + col2 + col3.
-		for _, c2 := range g.Col2 {
-			for _, c3 := range g.Col3 {
-				runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short, c3.Short}})
+		for _, primary := range workload.Specs() {
+			// 2 threads: primary + each column-2 program.
+			for _, c2 := range g.Col2 {
+				runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short}})
 			}
-		}
-		// 4 threads: primary + col2 + col3 + col4.
-		for _, c2 := range g.Col2 {
-			for _, c3 := range g.Col3 {
-				for _, c4 := range g.Col4 {
-					runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short, c3.Short, c4.Short}})
+			// 3 threads: primary + col2 + col3.
+			for _, c2 := range g.Col2 {
+				for _, c3 := range g.Col3 {
+					runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short, c3.Short}})
+				}
+			}
+			// 4 threads: primary + col2 + col3 + col4.
+			for _, c2 := range g.Col2 {
+				for _, c3 := range g.Col3 {
+					for _, c4 := range g.Col4 {
+						runs = append(runs, GroupedRun{Primary: primary.Short, Companions: []string{c2.Short, c3.Short, c4.Short}})
+					}
 				}
 			}
 		}
-	}
 
-	for i := range runs {
-		if err := e.runGrouped(&runs[i], latency); err != nil {
+		// The pool only orchestrates: leaf simulations admit through the
+		// Env's gate, so width beyond Jobs() just keeps gate slots fed
+		// while some tasks park on shared singleflight entries. The
+		// reference runs feed every grouping's speedup denominator;
+		// warming them first keeps the fan-out from bunching up on their
+		// entries.
+		pool := runner.New(4 * e.Jobs())
+		shorts := workload.Specs()
+		if err := pool.Map(len(shorts), func(i int) error {
+			_, err := e.RefReport(shorts[i].Short, latency)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-	}
-	e.grouped = runs
-	return runs, nil
+		if err := pool.Map(len(runs), func(i int) error {
+			return e.runGrouped(&runs[i], latency)
+		}); err != nil {
+			return nil, err
+		}
+		return runs, nil
+	})
 }
 
 func (e *Env) runGrouped(r *GroupedRun, latency int) error {
 	r.Contexts = 1 + len(r.Companions)
 	cfg := refConfig(latency)
 	cfg.Contexts = r.Contexts
-	m, err := core.New(cfg)
-	if err != nil {
-		return err
-	}
 	pw, err := e.W(r.Primary)
 	if err != nil {
 		return err
 	}
-	if err := m.SetThreadStream(0, r.Primary, pw.Stream()); err != nil {
-		return err
-	}
+	cws := make([]*workload.Workload, len(r.Companions))
 	for i, comp := range r.Companions {
-		cw, err := e.W(comp)
-		if err != nil {
-			return err
-		}
-		if err := m.SetThread(i+1, core.Repeat(comp, func() *prog.Stream { return cw.Stream() })); err != nil {
+		if cws[i], err = e.W(comp); err != nil {
 			return err
 		}
 	}
-	rep, err := m.Run(core.Stop{Thread0Complete: true})
+	var rep *stats.Report
+	e.gate.Do(func() {
+		var m *core.Machine
+		if m, err = core.New(cfg); err != nil {
+			return
+		}
+		if err = m.SetThreadStream(0, r.Primary, pw.Stream()); err != nil {
+			return
+		}
+		for i, comp := range r.Companions {
+			cw := cws[i]
+			if err = m.SetThread(i+1, core.Repeat(comp, func() *prog.Stream { return cw.Stream() })); err != nil {
+				return
+			}
+		}
+		e.sims.Add(1)
+		rep, err = m.Run(core.Stop{Thread0Complete: true})
+	})
 	if err != nil {
 		return fmt.Errorf("grouped run %s+%v: %w", r.Primary, r.Companions, err)
 	}

@@ -23,6 +23,12 @@ type Experiment struct {
 	// comparison.
 	PaperShape string
 	Run        func(*Env) (*Result, error)
+	// Points enumerates the experiment's independent simulation points
+	// as prefetch tasks. RunSuite fans them out over the worker pool to
+	// warm the Env caches before Run aggregates them serially; nil means
+	// the experiment has no parallelizable sweep. Each task must be
+	// memoized by the Env, so running it twice costs one simulation.
+	Points func(*Env) []func() error
 }
 
 // All returns every experiment in paper order, followed by the

@@ -1,12 +1,7 @@
 package experiments
 
 import (
-	"mtvec/internal/core"
-	"mtvec/internal/prog"
 	"mtvec/internal/report"
-	"mtvec/internal/stats"
-	"mtvec/internal/vcomp"
-	"mtvec/internal/workload"
 )
 
 // extCompilerExp quantifies the Convex compiler's instruction scheduling.
@@ -18,13 +13,10 @@ import (
 func extCompilerExp() Experiment {
 	return Experiment{
 		ID:         "ext-compiler",
+		Points:     extCompilerPoints,
 		Title:      "Extension: compiler load scheduling (hoisting on/off)",
 		PaperShape: "the machine depends on compiler scheduling because loads do not chain; a naive compiler should hurt the reference machine most",
 		Run: func(e *Env) (*Result, error) {
-			naive, err := buildNoHoistSuite(e.Scale)
-			if err != nil {
-				return nil, err
-			}
 			t := report.NewTable("Ten-program queue at latency 50",
 				"compiler", "contexts", "cycles", "mem occ", "vs scheduled")
 			for _, ctx := range []int{1, 2, 3} {
@@ -32,7 +24,7 @@ func extCompilerExp() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				naiveRep, err := runQueueOn(naive, ctx, 50)
+				naiveRep, err := e.NaiveQueueRun(ctx, 50)
 				if err != nil {
 					return nil, err
 				}
@@ -54,37 +46,15 @@ func extCompilerExp() Experiment {
 	}
 }
 
-// buildNoHoistSuite builds the queue-order workloads with hoisting off.
-func buildNoHoistSuite(scale float64) ([]*workload.Workload, error) {
-	var out []*workload.Workload
-	for _, spec := range workload.QueueOrder() {
-		w, err := spec.BuildOpts(scale, vcomp.Options{NoHoist: true})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, w)
+// extCompilerPoints enumerates the scheduled and naive queue runs at
+// contexts 1-3.
+func extCompilerPoints(e *Env) []func() error {
+	var ps []func() error
+	for _, ctx := range []int{1, 2, 3} {
+		ctx := ctx
+		ps = append(ps,
+			func() error { _, err := e.QueueRun(QueueSpec{Contexts: ctx, Latency: 50}); return err },
+			func() error { _, err := e.NaiveQueueRun(ctx, 50); return err })
 	}
-	return out, nil
-}
-
-// runQueueOn runs the given prebuilt workloads as a job queue.
-func runQueueOn(ws []*workload.Workload, contexts, latency int) (*stats.Report, error) {
-	cfg := refConfig(latency)
-	cfg.Contexts = contexts
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	q := core.NewJobQueue()
-	for _, w := range ws {
-		w := w
-		q.Add(w.Spec.Short, func() *prog.Stream { return w.Stream() })
-	}
-	src := q.Source()
-	for i := 0; i < contexts; i++ {
-		if err := m.SetThread(i, src); err != nil {
-			return nil, err
-		}
-	}
-	return m.Run(core.Stop{})
+	return ps
 }

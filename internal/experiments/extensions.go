@@ -11,11 +11,64 @@ import (
 // the idealizations DESIGN.md calls out. All use the ten-program job
 // queue at 50-cycle memory latency unless stated otherwise.
 
+// extPoliciesSpecs enumerates the policy-study queue runs.
+func extPoliciesSpecs() []QueueSpec {
+	var specs []QueueSpec
+	for _, pol := range sched.Names() {
+		for _, ctx := range []int{2, 4} {
+			specs = append(specs, QueueSpec{Contexts: ctx, Latency: 50, Policy: pol})
+		}
+	}
+	return specs
+}
+
+// extPortsSpecs enumerates the multi-port memory study runs.
+func extPortsSpecs() []QueueSpec {
+	var specs []QueueSpec
+	for _, ctx := range []int{1, 2, 4} {
+		specs = append(specs, QueueSpec{Contexts: ctx, Latency: 50})
+	}
+	for _, ctx := range []int{2, 4} {
+		for _, iw := range []int{1, 2} {
+			if iw > ctx {
+				continue
+			}
+			specs = append(specs, QueueSpec{
+				Contexts: ctx, Latency: 50, LoadPorts: 2, StorePorts: 1, IssueWidth: iw,
+			})
+		}
+	}
+	return specs
+}
+
+// extBanksSpecs enumerates the banked-memory study runs.
+func extBanksSpecs() []QueueSpec {
+	var specs []QueueSpec
+	for _, ctx := range []int{1, 2} {
+		specs = append(specs,
+			QueueSpec{Contexts: ctx, Latency: 50},
+			QueueSpec{Contexts: ctx, Latency: 50, Banks: 64, BankBusy: 8})
+	}
+	return specs
+}
+
+// extIssueSpecs enumerates the multi-thread issue study runs.
+func extIssueSpecs() []QueueSpec {
+	var specs []QueueSpec
+	for _, ctx := range []int{2, 3, 4} {
+		for _, iw := range []int{1, 2} {
+			specs = append(specs, QueueSpec{Contexts: ctx, Latency: 50, IssueWidth: iw})
+		}
+	}
+	return specs
+}
+
 // extPoliciesExp compares thread-switch policies ("studies of other
 // policies are currently underway", Section 2).
 func extPoliciesExp() Experiment {
 	return Experiment{
 		ID:         "ext-policies",
+		Points:     func(e *Env) []func() error { return queuePoints(e, extPoliciesSpecs()) },
 		Title:      "Extension: thread-switch policy study",
 		PaperShape: "paper argues run-until-block preserves chaining; fine-grain interleave should lose",
 		Run: func(e *Env) (*Result, error) {
@@ -41,6 +94,7 @@ func extPoliciesExp() Experiment {
 func extPortsExp() Experiment {
 	return Experiment{
 		ID:         "ext-ports",
+		Points:     func(e *Env) []func() error { return queuePoints(e, extPortsSpecs()) },
 		Title:      "Extension: Cray-like 2-load/1-store memory ports",
 		PaperShape: "paper predicts multi-port machines need simultaneous multi-thread issue to saturate",
 		Run: func(e *Env) (*Result, error) {
@@ -84,6 +138,7 @@ func extPortsExp() Experiment {
 func extBanksExp() Experiment {
 	return Experiment{
 		ID:         "ext-banks",
+		Points:     func(e *Env) []func() error { return queuePoints(e, extBanksSpecs()) },
 		Title:      "Extension: banked memory with conflict stalls",
 		PaperShape: "the paper assumes a conflict-free memory; banking should cost little at unit stride",
 		Run: func(e *Env) (*Result, error) {
@@ -117,6 +172,7 @@ func extBanksExp() Experiment {
 func extIssueExp() Experiment {
 	return Experiment{
 		ID:         "ext-issue",
+		Points:     func(e *Env) []func() error { return queuePoints(e, extIssueSpecs()) },
 		Title:      "Extension: simultaneous issue from several threads",
 		PaperShape: "paper expects little gain on a single-port machine (decode is rarely the bottleneck)",
 		Run: func(e *Env) (*Result, error) {

@@ -16,10 +16,59 @@ var fig10Latencies = []int{1, 20, 40, 60, 80, 100}
 // fig11Latencies are the sweep points of Figure 11.
 var fig11Latencies = []int{1, 10, 30, 50, 70, 90, 100}
 
+// fig4Points enumerates the 40 solo reference runs shared by Figures 4
+// and 5.
+func fig4Points(e *Env) []func() error { return refPoints(e, fig4Latencies) }
+
+// groupedPoints exposes the Table 2 grouped-run set (Figures 6-8) as a
+// single task; GroupedRuns fans its ~250 simulations out internally.
+func groupedPoints(e *Env) []func() error {
+	return []func() error{func() error { _, err := e.GroupedRuns(); return err }}
+}
+
+// fig10QueueSpecs are the multithreaded queue runs of Figures 10 and 12.
+func fig10QueueSpecs() []QueueSpec {
+	var specs []QueueSpec
+	for _, lat := range fig10Latencies {
+		for _, ctx := range []int{2, 3, 4} {
+			specs = append(specs, QueueSpec{Contexts: ctx, Latency: lat})
+		}
+	}
+	return specs
+}
+
+// fig10Points covers the baseline reference runs and the queue sweep.
+func fig10Points(e *Env) []func() error {
+	return append(refPoints(e, fig10Latencies), queuePoints(e, fig10QueueSpecs())...)
+}
+
+// fig11Points enumerates both crossbar variants of the queue sweep.
+func fig11Points(e *Env) []func() error {
+	var specs []QueueSpec
+	for _, lat := range fig11Latencies {
+		for _, ctx := range []int{2, 3, 4} {
+			for _, xbar := range []int{2, 3} {
+				specs = append(specs, QueueSpec{Contexts: ctx, Latency: lat, Xbar: xbar})
+			}
+		}
+	}
+	return queuePoints(e, specs)
+}
+
+// fig12Points adds the dual-scalar runs to the shared Figure 10 sweep.
+func fig12Points(e *Env) []func() error {
+	specs := fig10QueueSpecs()
+	for _, lat := range fig10Latencies {
+		specs = append(specs, QueueSpec{Contexts: 2, Latency: lat, DualScalar: true})
+	}
+	return queuePoints(e, specs)
+}
+
 // fig4Exp reproduces the reference machine's 8-state breakdown.
 func fig4Exp() Experiment {
 	return Experiment{
 		ID:         "fig4",
+		Points:     fig4Points,
 		Title:      "Figure 4: functional-unit usage on the reference architecture",
 		PaperShape: "peak states rare and shrinking with latency; <,,> grows with latency; DYFESM/TRFD/FLO52 most latency-sensitive",
 		Run: func(e *Env) (*Result, error) {
@@ -50,6 +99,7 @@ func fig4Exp() Experiment {
 func fig5Exp() Experiment {
 	return Experiment{
 		ID:         "fig5",
+		Points:     fig4Points,
 		Title:      "Figure 5: percentage of cycles with the memory port idle",
 		PaperShape: "30-65% idle at latency 70 across the ten programs",
 		Run: func(e *Env) (*Result, error) {
@@ -126,6 +176,7 @@ func aggregateGrouped(runs []GroupedRun) map[string]map[int]*groupAgg {
 func fig6Exp() Experiment {
 	return Experiment{
 		ID:         "fig6",
+		Points:     groupedPoints,
 		Title:      "Figure 6: multithreaded speedup at memory latency 50",
 		PaperShape: "2 threads: 1.2-1.4; 3 threads: ~1.3 up to 1.51; 4 threads: small further gain; dyfesm/trfd highest",
 		Run: func(e *Env) (*Result, error) {
@@ -154,6 +205,7 @@ func fig6Exp() Experiment {
 func fig7Exp() Experiment {
 	return Experiment{
 		ID:         "fig7",
+		Points:     groupedPoints,
 		Title:      "Figure 7: memory-port occupation, multithreaded vs sequential reference",
 		PaperShape: "~80-86% at 2 threads, ~90% at 3, 90-95% at 4; reference runs well below; less-vectorized programs lower",
 		Run: func(e *Env) (*Result, error) {
@@ -183,6 +235,7 @@ func fig7Exp() Experiment {
 func fig8Exp() Experiment {
 	return Experiment{
 		ID:         "fig8",
+		Points:     groupedPoints,
 		Title:      "Figure 8: vector arithmetic operations per cycle (VOPC)",
 		PaperShape: "reference 0.5-0.85; top-6 programs reach ~1 at 2 threads, >1 at 3; trfd/dyfesm stay low",
 		Run: func(e *Env) (*Result, error) {
@@ -238,6 +291,7 @@ func fig9Exp() Experiment {
 func fig10Exp() Experiment {
 	return Experiment{
 		ID:         "fig10",
+		Points:     fig10Points,
 		Title:      "Figure 10: total execution time vs memory latency",
 		PaperShape: "baseline ~linear in latency; 2-context curve nearly flat (~6.8% from 1 to 100); speedup 1.15 at latency 1, 1.45 at 100",
 		Run: func(e *Env) (*Result, error) {
@@ -309,6 +363,7 @@ func fig10Exp() Experiment {
 func fig11Exp() Experiment {
 	return Experiment{
 		ID:         "fig11",
+		Points:     fig11Points,
 		Title:      "Figure 11: slowdown from 3-cycle register-file crossbars",
 		PaperShape: "slowdown below ~1.009 everywhere; chaining, vector length and multithreading absorb the extra cycle",
 		Run: func(e *Env) (*Result, error) {
@@ -357,6 +412,7 @@ func fig11Exp() Experiment {
 func fig12Exp() Experiment {
 	return Experiment{
 		ID:         "fig12",
+		Points:     fig12Points,
 		Title:      "Figure 12: dual scalar units (Fujitsu VP2000 style) vs multithreaded decode",
 		PaperShape: "Fujitsu-style ~3% ahead of 2-thread mth at latency 1, converging by latency 100; 3 and 4 threads beat both",
 		Run: func(e *Env) (*Result, error) {

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mtvec/internal/stats"
+)
+
+// testScale keeps suite-level tests fast; it matches testEnv's scale.
+const testScale = 1e-4
+
+func TestRunSuiteParallelMatchesSerial(t *testing.T) {
+	serial, sst, err := RunSuite(NewEnv(testScale), All(), 1)
+	if err != nil {
+		t.Fatalf("serial suite: %v", err)
+	}
+	parallel, pst, err := RunSuite(NewEnv(testScale), All(), 8)
+	if err != nil {
+		t.Fatalf("parallel suite: %v", err)
+	}
+	if len(serial) != len(All()) {
+		t.Fatalf("results = %d, want %d", len(serial), len(All()))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("experiment %s: parallel result differs from serial", All()[i].ID)
+		}
+	}
+	// The engine must not trade memoization for parallelism: the same
+	// distinct simulation set runs under any schedule.
+	if sst.Simulations != pst.Simulations {
+		t.Errorf("simulations: serial %d, parallel %d", sst.Simulations, pst.Simulations)
+	}
+	if sst.Jobs != 1 || pst.Jobs != 8 {
+		t.Errorf("stats jobs = %d/%d, want 1/8", sst.Jobs, pst.Jobs)
+	}
+	if pst.Wall <= 0 || pst.Busy <= 0 || pst.Points == 0 {
+		t.Errorf("suite stats not populated: %+v", pst)
+	}
+	if pst.Parallelism() <= 0 {
+		t.Errorf("parallelism = %v", pst.Parallelism())
+	}
+}
+
+func TestSharedPointsSimulatedOnce(t *testing.T) {
+	// Figures 4 and 5 read the exact same sweep: ten programs at four
+	// latencies. Running both concurrently must cost exactly 40
+	// simulations — the cache's single-simulation guarantee.
+	e := NewEnv(testScale)
+	exps := []Experiment{*ByID("fig4"), *ByID("fig5")}
+	_, st, err := RunSuite(e, exps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Simulations != 40 {
+		t.Fatalf("simulations = %d, want 40 (10 programs x 4 latencies, shared between fig4 and fig5)", st.Simulations)
+	}
+	// Re-running the experiments on the same Env is free.
+	_, st2, err := RunSuite(e, exps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Simulations != 0 {
+		t.Fatalf("rerun executed %d new simulations, want 0", st2.Simulations)
+	}
+}
+
+func TestEnvConcurrentSingleflight(t *testing.T) {
+	e := NewEnv(testScale)
+	const goroutines = 16
+	reports := make([]*stats.Report, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = e.RefReport("tf", 50)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if reports[i] != reports[0] {
+			t.Fatal("concurrent requesters got different report instances")
+		}
+	}
+	if n := e.Simulations(); n != 1 {
+		t.Fatalf("%d simulations for one key under contention", n)
+	}
+}
+
+func TestRunSuiteReportsExperimentErrors(t *testing.T) {
+	bad := Experiment{
+		ID:    "bad",
+		Title: "always fails",
+		Points: func(e *Env) []func() error {
+			return []func() error{func() error { _, err := e.W("zz"); return err }}
+		},
+		Run: func(e *Env) (*Result, error) {
+			_, err := e.W("zz")
+			return nil, err
+		},
+	}
+	for _, jobs := range []int{1, 4} {
+		_, _, err := RunSuite(NewEnv(testScale), []Experiment{*ByID("table1"), bad}, jobs)
+		if err == nil {
+			t.Fatalf("jobs=%d: point/run failure not reported", jobs)
+		}
+		want := `bad: experiments: unknown workload "zz"`
+		if err.Error() != want {
+			t.Fatalf("jobs=%d: err = %q, want %q (deterministic, experiment-attributed)", jobs, err, want)
+		}
+	}
+}

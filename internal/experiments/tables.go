@@ -80,6 +80,7 @@ func table2Exp() Experiment {
 func table3Exp() Experiment {
 	return Experiment{
 		ID:         "table3",
+		Points:     workloadPoints,
 		Title:      "Table 3: basic operation counts",
 		PaperShape: "per-program scalar/vector instructions (M), vector operations (M), %vectorized, average VL",
 		Run: func(e *Env) (*Result, error) {

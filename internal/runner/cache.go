@@ -1,0 +1,60 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a concurrency-safe memoization table with singleflight
+// semantics: for each key the compute function runs exactly once, while
+// concurrent requesters for the same key block until that one execution
+// finishes and then share its result. Errors are memoized too — the
+// simulations this engine caches are deterministic, so a failed compute
+// would fail identically on retry.
+//
+// The zero Cache is ready to use.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*cacheEntry[V]
+	misses  atomic.Int64
+}
+
+type cacheEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the memoized value for key, computing it with fn on the
+// first request. fn must not call Do with the same key (it would
+// deadlock on itself).
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*cacheEntry[V])
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.val, e.err = fn()
+	close(e.done)
+	return e.val, e.err
+}
+
+// Misses returns how many times a compute function actually ran — the
+// number of distinct keys ever requested.
+func (c *Cache[K, V]) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of cached keys (including in-flight ones).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -4,6 +4,12 @@
 // thread (the "unfair" scheme, biased so thread 0 sees little slowdown and
 // chaining windows stay long). The alternatives answer the paper's
 // "studies of other policies are currently underway".
+//
+// A Policy may carry per-run state (LRU does), so a policy instance
+// belongs to exactly one machine: when simulating machines concurrently
+// — as the experiment engine in internal/runner does — obtain a fresh
+// instance per core.Config via ByName. Policies are deterministic;
+// given the same sequence of machine states they make the same picks.
 package sched
 
 // MachineView is what a policy may inspect: per-thread work availability

@@ -20,6 +20,13 @@
 // Define your own kernels with the kernel IR (Array, VectorLoop, ...),
 // compile them with CompileKernel, and simulate the resulting traces; or
 // regenerate the paper's evaluation with Experiments and NewEnv.
+//
+// RunExperiments executes the whole evaluation concurrently: shared
+// simulation points are simulated exactly once (Env is a concurrency-safe
+// singleflight cache) and results are byte-identical at any worker count:
+//
+//	env := mtvec.NewEnv(mtvec.DefaultScale)
+//	results, stats, _ := mtvec.RunExperiments(env, mtvec.Experiments(), 0)
 package mtvec
 
 import (
@@ -33,6 +40,7 @@ import (
 	"mtvec/internal/memsys"
 	"mtvec/internal/prog"
 	"mtvec/internal/report"
+	"mtvec/internal/runner"
 	"mtvec/internal/sched"
 	"mtvec/internal/stats"
 	"mtvec/internal/trace"
@@ -114,8 +122,12 @@ type (
 	Experiment = experiments.Experiment
 	// ExperimentResult is a reproduced artifact.
 	ExperimentResult = experiments.Result
-	// Env memoizes workloads and runs across experiments.
+	// Env memoizes workloads and runs across experiments; it is safe
+	// for concurrent use and simulates each distinct point exactly once.
 	Env = experiments.Env
+	// SuiteStats summarizes a RunExperiments execution (wall clock,
+	// serial-equivalent busy time, simulation count).
+	SuiteStats = experiments.SuiteStats
 	// Table is a renderable result grid.
 	Table = report.Table
 )
@@ -164,6 +176,39 @@ func ExperimentByID(id string) *Experiment { return experiments.ByID(id) }
 
 // ExperimentIDs lists the experiment identifiers.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiments executes the experiments on env with at most jobs
+// concurrent simulations (jobs <= 0 selects runtime.NumCPU()). Shared
+// simulation points are run exactly once; results are collected in
+// experiment order and are byte-identical for any jobs value.
+func RunExperiments(env *Env, exps []Experiment, jobs int) ([]*ExperimentResult, *SuiteStats, error) {
+	return experiments.RunSuite(env, exps, jobs)
+}
+
+// BuildWorkloads builds the named workloads (short tags or program
+// names) concurrently on at most jobs workers, preserving input order.
+// All names are validated before any build starts.
+func BuildWorkloads(tags []string, scale float64, jobs int) ([]*Workload, error) {
+	specs := make([]*WorkloadSpec, len(tags))
+	for i, tag := range tags {
+		spec := workload.ByShort(tag)
+		if spec == nil {
+			spec = workload.ByName(tag)
+		}
+		if spec == nil {
+			return nil, fmt.Errorf("mtvec: unknown program %q", tag)
+		}
+		specs[i] = spec
+	}
+	ws := make([]*Workload, len(tags))
+	pool := runner.New(jobs)
+	err := pool.Map(len(tags), func(i int) error {
+		w, err := specs[i].Build(scale)
+		ws[i] = w
+		return err
+	})
+	return ws, err
+}
 
 // RunSolo runs one workload to completion on a machine built from cfg.
 func RunSolo(w *Workload, cfg Config) (*Report, error) {
