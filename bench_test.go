@@ -14,6 +14,7 @@
 package mtvec_test
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"testing"
@@ -110,3 +111,62 @@ func benchEngine(b *testing.B, contexts int) {
 
 func BenchmarkEngineReference(b *testing.B)   { benchEngine(b, 1) }
 func BenchmarkEngineFourThreads(b *testing.B) { benchEngine(b, 4) }
+
+// Session API overhead: the same solo run through the direct machine
+// path, through a memo-less Session (spec validation + gate + context
+// plumbing per run), and through a memoizing Session (cache-hit path).
+// The first two must be within noise of each other — the redesign's
+// per-run overhead budget.
+
+func benchSoloWorkload(b *testing.B) *mtvec.Workload {
+	b.Helper()
+	w, err := mtvec.WorkloadByShort("tf").Build(benchScale(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkDirectMachineRun(b *testing.B) {
+	w := benchSoloWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := mtvec.NewMachine(mtvec.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SetThreadStream(0, w.Spec.Short, w.Stream()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(mtvec.Stop{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionRun(b *testing.B) {
+	w := benchSoloWorkload(b)
+	ses := mtvec.NewSession(mtvec.WithoutMemo())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Run(ctx, mtvec.Solo(w)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionRunMemoized(b *testing.B) {
+	w := benchSoloWorkload(b)
+	ses := mtvec.NewSession()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Run(ctx, mtvec.Solo(w)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,14 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	for _, format := range []string{"text", "markdown"} {
 		var buf bytes.Buffer
-		if err := run(&buf, "table1,table2", 1e-4, format, 2, true); err != nil {
+		if err := run(context.Background(), &buf, "table1,table2", 1e-4, format, 2, true); err != nil {
 			t.Errorf("format %s: %v", format, err)
 		}
 		if buf.Len() == 0 {
@@ -20,10 +22,10 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", 1e-4, "text", 1, true); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+	if err := run(context.Background(), &buf, "nope", 1e-4, "text", 1, true); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("err = %v", err)
 	}
-	if err := run(&buf, "table1", 1e-4, "pdf", 1, true); err == nil || !strings.Contains(err.Error(), "unknown format") {
+	if err := run(context.Background(), &buf, "table1", 1e-4, "pdf", 1, true); err == nil || !strings.Contains(err.Error(), "unknown format") {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -34,10 +36,10 @@ func TestRunErrors(t *testing.T) {
 func TestParallelOutputByteIdentical(t *testing.T) {
 	const exps = "table3,fig4,fig5,fig9,ext-banks"
 	var serial, parallel bytes.Buffer
-	if err := run(&serial, exps, 1e-4, "text", 1, true); err != nil {
+	if err := run(context.Background(), &serial, exps, 1e-4, "text", 1, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&parallel, exps, 1e-4, "text", 8, true); err != nil {
+	if err := run(context.Background(), &parallel, exps, 1e-4, "text", 8, true); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
@@ -67,5 +69,18 @@ func TestCatalogListsEveryExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out, "mtvbench -catalog") {
 		t.Error("catalog missing its own regeneration note")
+	}
+}
+
+func TestRunHonorsDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	var buf bytes.Buffer
+	err := run(ctx, &buf, "table3", 1e-4, "text", 2, true)
+	if err == nil || !strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("cancelled suite rendered output:\n%s", buf.String())
 	}
 }

@@ -9,48 +9,94 @@
 //	-mode queue  all programs form a job queue drained by the contexts
 //	             (Section 7 methodology)
 //
+// Runs are cancellable: -timeout bounds the simulation with a context
+// deadline, and Ctrl-C (SIGINT) stops it gracefully; either way the
+// last streamed progress point is reported.
+//
 // Example:
 //
-//	mtvsim -programs tf,sw -contexts 2 -latency 50 -mode group
+//	mtvsim -programs tf,sw -contexts 2 -latency 50 -mode group -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"time"
 
 	"mtvec"
 )
 
+// simOpts carries the command's flags.
+type simOpts struct {
+	programs string
+	contexts int
+	latency  int
+	scalarL  int
+	xbar     int
+	policy   string
+	dual     bool
+	issue    int
+	mode     string
+	scale    float64
+	jobs     int
+	spans    bool
+	states   bool
+	timeout  time.Duration
+}
+
 func main() {
-	var (
-		programs = flag.String("programs", "tf", "comma-separated program tags (sw,hy,sr,tf,a7,su,to,na,ti,sd)")
-		contexts = flag.Int("contexts", 1, "hardware contexts (1-8)")
-		latency  = flag.Int("latency", 50, "main memory latency in cycles")
-		scalarL  = flag.Int("scalar-latency", 4, "scalar cache latency (0 = main memory latency)")
-		xbar     = flag.Int("xbar", 2, "vector register file crossbar latency")
-		policy   = flag.String("policy", "unfair", "thread policy: "+strings.Join(mtvec.PolicyNames(), ","))
-		dual     = flag.Bool("dual-scalar", false, "Fujitsu VP2000 dual-scalar mode (2 contexts)")
-		issue    = flag.Int("issue", 1, "decode slots per cycle")
-		mode     = flag.String("mode", "solo", "solo | group | queue")
-		scale    = flag.Float64("scale", mtvec.DefaultScale, "workload scale relative to Table 3 millions")
-		jobs     = flag.Int("jobs", runtime.NumCPU(), "max concurrent workload builds")
-		spans    = flag.Bool("spans", false, "print the per-thread execution profile")
-		states   = flag.Bool("states", false, "print the 8-state breakdown")
-	)
+	var o simOpts
+	flag.StringVar(&o.programs, "programs", "tf", "comma-separated program tags (sw,hy,sr,tf,a7,su,to,na,ti,sd)")
+	flag.IntVar(&o.contexts, "contexts", 1, "hardware contexts (1-8)")
+	flag.IntVar(&o.latency, "latency", 50, "main memory latency in cycles")
+	flag.IntVar(&o.scalarL, "scalar-latency", 4, "scalar cache latency (0 = main memory latency)")
+	flag.IntVar(&o.xbar, "xbar", 2, "vector register file crossbar latency")
+	flag.StringVar(&o.policy, "policy", "unfair", "thread policy: "+strings.Join(mtvec.PolicyNames(), ","))
+	flag.BoolVar(&o.dual, "dual-scalar", false, "Fujitsu VP2000 dual-scalar mode (2 contexts)")
+	flag.IntVar(&o.issue, "issue", 1, "decode slots per cycle")
+	flag.StringVar(&o.mode, "mode", "solo", "solo | group | queue")
+	flag.Float64Var(&o.scale, "scale", mtvec.DefaultScale, "workload scale relative to Table 3 millions")
+	flag.IntVar(&o.jobs, "jobs", runtime.NumCPU(), "max concurrent workload builds")
+	flag.BoolVar(&o.spans, "spans", false, "print the per-thread execution profile")
+	flag.BoolVar(&o.states, "states", false, "print the 8-state breakdown")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the simulation after this long (0 = no limit)")
 	flag.Parse()
 
-	if err := run(*programs, *contexts, *latency, *scalarL, *xbar, *policy, *dual, *issue, *mode, *scale, *jobs, *spans, *states); err != nil {
+	// Ctrl-C cancels the run via the context; a second Ctrl-C kills the
+	// process the usual way once stop() restores default handling.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "mtvsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(programs string, contexts, latency, scalarL, xbar int, policy string, dual bool, issue int, mode string, scale float64, jobs int, spans, states bool) error {
+// progressMeter is the run Observer behind partial-progress reporting:
+// it remembers the last coarse-stride progress point the simulator
+// streamed, so a cancelled run can still say how far it got.
+type progressMeter struct {
+	mtvec.ProgressFunc // reuse the no-op ThreadSwitch/Span methods
+	cycle              int64
+	insts              int64
+}
+
+func newProgressMeter() *progressMeter {
+	m := &progressMeter{}
+	m.ProgressFunc = func(now, insts int64) { m.cycle, m.insts = now, insts }
+	return m
+}
+
+func run(ctx context.Context, w io.Writer, o simOpts) error {
 	var tags []string
-	for _, tag := range strings.Split(programs, ",") {
+	for _, tag := range strings.Split(o.programs, ",") {
 		if tag = strings.TrimSpace(tag); tag != "" {
 			tags = append(tags, tag)
 		}
@@ -58,63 +104,93 @@ func run(programs string, contexts, latency, scalarL, xbar int, policy string, d
 	if len(tags) == 0 {
 		return fmt.Errorf("no programs given")
 	}
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+
 	// Trace reconstruction is the expensive part of a short run; build
-	// the programs concurrently.
-	ws, err := mtvec.BuildWorkloads(tags, scale, jobs)
-	if err != nil {
-		return err
+	// the programs concurrently, off the main goroutine so Ctrl-C and
+	// -timeout stay responsive during the build phase too (the process
+	// exits right after a cancelled build, so the detached work is moot).
+	type buildResult struct {
+		ws  []*mtvec.Workload
+		err error
+	}
+	built := make(chan buildResult, 1)
+	go func() {
+		ws, err := mtvec.BuildWorkloads(tags, o.scale, o.jobs)
+		built <- buildResult{ws, err}
+	}()
+	var ws []*mtvec.Workload
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w (stopped during workload build)", ctx.Err())
+	case r := <-built:
+		if r.err != nil {
+			return r.err
+		}
+		ws = r.ws
 	}
 
-	cfg := mtvec.DefaultConfig()
-	cfg.Contexts = contexts
-	cfg.Mem.Latency = latency
-	cfg.Mem.ScalarLatency = scalarL
-	cfg.Lat.ReadXbar, cfg.Lat.WriteXbar = xbar, xbar
-	cfg.DualScalar = dual
-	cfg.IssueWidth = issue
-	cfg.RecordSpans = spans
-	if p := mtvec.PolicyByName(policy); p != nil {
-		cfg.Policy = p
-	} else {
-		return fmt.Errorf("unknown policy %q", policy)
+	meter := newProgressMeter()
+	opts := []mtvec.RunOption{
+		mtvec.WithContexts(o.contexts),
+		mtvec.WithMemLatency(o.latency),
+		mtvec.WithScalarLatency(o.scalarL),
+		mtvec.WithXbar(o.xbar),
+		mtvec.WithPolicy(o.policy),
+		mtvec.WithDualScalar(o.dual),
+		mtvec.WithIssueWidth(o.issue),
+		mtvec.WithObserver(meter),
+	}
+	if o.spans {
+		opts = append(opts, mtvec.WithSpans())
 	}
 
-	var rep *mtvec.Report
-	switch mode {
+	var spec mtvec.RunSpec
+	switch o.mode {
 	case "solo":
-		rep, err = mtvec.RunSolo(ws[0], cfg)
+		spec = mtvec.Solo(ws[0], opts...)
 	case "group":
-		rep, err = mtvec.RunGroup(ws[0], ws[1:], cfg)
+		spec = mtvec.Group(ws[0], ws[1:], opts...)
 	case "queue":
-		rep, err = mtvec.RunQueue(ws, cfg)
+		spec = mtvec.Queue(ws, opts...)
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", o.mode)
 	}
+
+	rep, err := mtvec.NewSession().Run(ctx, spec)
 	if err != nil {
+		if mtvec.IsContextErr(err) {
+			return fmt.Errorf("%w (stopped at cycle %d, %d instructions dispatched)",
+				err, meter.cycle, meter.insts)
+		}
 		return err
 	}
 
-	fmt.Printf("cycles:            %d\n", rep.Cycles)
-	fmt.Printf("instructions:      %d\n", rep.Insts)
-	fmt.Printf("lost decode:       %d\n", rep.LostDecode)
-	fmt.Printf("mem occupation:    %.1f%% (%d requests, %d ports)\n",
+	fmt.Fprintf(w, "cycles:            %d\n", rep.Cycles)
+	fmt.Fprintf(w, "instructions:      %d\n", rep.Insts)
+	fmt.Fprintf(w, "lost decode:       %d\n", rep.LostDecode)
+	fmt.Fprintf(w, "mem occupation:    %.1f%% (%d requests, %d ports)\n",
 		100*rep.MemOccupation(), rep.MemRequests, rep.MemPorts)
-	fmt.Printf("mem-port idle:     %.1f%% of cycles\n", 100*rep.MemIdleFraction())
-	fmt.Printf("VOPC:              %.3f\n", rep.VOPC())
+	fmt.Fprintf(w, "mem-port idle:     %.1f%% of cycles\n", 100*rep.MemIdleFraction())
+	fmt.Fprintf(w, "VOPC:              %.3f\n", rep.VOPC())
 	for i, th := range rep.Threads {
-		fmt.Printf("thread %d:          %s  completions=%d partial=%d dispatched=%d\n",
+		fmt.Fprintf(w, "thread %d:          %s  completions=%d partial=%d dispatched=%d\n",
 			i, th.Program, th.Completions, th.PartialInsts, th.Dispatched)
 	}
-	if states {
-		fmt.Println("state breakdown:")
+	if o.states {
+		fmt.Fprintln(w, "state breakdown:")
 		for s := 0; s < 8; s++ {
-			fmt.Printf("  state %d: %6.2f%%\n", s, 100*float64(rep.Breakdown[s])/float64(rep.Cycles))
+			fmt.Fprintf(w, "  state %d: %6.2f%%\n", s, 100*float64(rep.Breakdown[s])/float64(rep.Cycles))
 		}
 	}
-	if spans {
-		fmt.Println("execution profile:")
+	if o.spans {
+		fmt.Fprintln(w, "execution profile:")
 		for _, sp := range rep.Spans {
-			fmt.Printf("  ctx%d %-8s [%d, %d)\n", sp.Thread, sp.Program, sp.Start, sp.End)
+			fmt.Fprintf(w, "  ctx%d %-8s [%d, %d)\n", sp.Thread, sp.Program, sp.Start, sp.End)
 		}
 	}
 	return nil

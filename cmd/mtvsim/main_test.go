@@ -1,27 +1,65 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 const testScale = 5e-5
 
+// opts returns a baseline flag set at test scale.
+func opts() simOpts {
+	return simOpts{
+		programs: "tf",
+		contexts: 1,
+		latency:  50,
+		scalarL:  4,
+		xbar:     2,
+		policy:   "unfair",
+		issue:    1,
+		mode:     "solo",
+		scale:    testScale,
+		jobs:     2,
+	}
+}
+
+func runWith(t *testing.T, o simOpts) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(context.Background(), &buf, o)
+	return buf.String(), err
+}
+
 func TestRunModes(t *testing.T) {
 	for _, mode := range []string{"solo", "group", "queue"} {
-		contexts := 1
+		o := opts()
+		o.programs = "tf,sd"
+		o.mode = mode
+		o.spans = true
+		o.states = true
 		if mode != "solo" {
-			contexts = 2
+			o.contexts = 2
 		}
-		err := run("tf,sd", contexts, 50, 4, 2, "unfair", false, 1, mode, testScale, 2, true, true)
+		out, err := runWith(t, o)
 		if err != nil {
 			t.Errorf("mode %s: %v", mode, err)
+		}
+		if !strings.Contains(out, "cycles:") || !strings.Contains(out, "execution profile:") {
+			t.Errorf("mode %s: incomplete output:\n%s", mode, out)
 		}
 	}
 }
 
 func TestRunDualScalar(t *testing.T) {
-	if err := run("tf,sd", 2, 50, 4, 2, "unfair", true, 1, "queue", testScale, 2, false, false); err != nil {
+	o := opts()
+	o.programs = "tf,sd"
+	o.contexts = 2
+	o.dual = true
+	o.mode = "queue"
+	if _, err := runWith(t, o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,7 +76,9 @@ func TestRunErrors(t *testing.T) {
 		{"tf,sw", "unfair", "group", 1, "contexts"},
 	}
 	for _, c := range cases {
-		err := run(c.programs, c.contexts, 50, 4, 2, c.policy, false, 1, c.mode, testScale, 2, false, false)
+		o := opts()
+		o.programs, o.policy, o.mode, o.contexts = c.programs, c.policy, c.mode, c.contexts
+		_, err := runWith(t, o)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%+v: err = %v, want containing %q", c, err, c.want)
 		}
@@ -46,7 +86,34 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunByFullName(t *testing.T) {
-	if err := run("flo52", 1, 20, 4, 2, "unfair", false, 1, "solo", testScale, 2, false, false); err != nil {
+	o := opts()
+	o.programs = "flo52"
+	o.latency = 20
+	if _, err := runWith(t, o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	o := opts()
+	o.timeout = time.Nanosecond
+	out, err := runWith(t, o)
+	// A 1ns deadline cancels during the build phase; either way the
+	// error reports where the run stopped and no report is printed.
+	if err == nil || !strings.Contains(err.Error(), "stopped") {
+		t.Fatalf("timeout err = %v, want progress report", err)
+	}
+	if out != "" {
+		t.Fatalf("cancelled run printed a report:\n%s", out)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, &buf, opts())
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,7 +62,9 @@ func main() {
 		{Unit: c.UnitIndex("relax"), N: 100_000},
 	}
 
-	rep, err := mtvec.RunCompiled(c, schedule, mtvec.DefaultConfig())
+	ctx := context.Background()
+	ses := mtvec.NewSession()
+	rep, err := ses.Run(ctx, mtvec.CompiledRun(c, schedule))
 	if err != nil {
 		log.Fatal(err)
 	}

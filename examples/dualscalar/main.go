@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	ses := mtvec.NewSession()
 	const scale = 1e-4
 
 	var suite []*mtvec.Workload
@@ -24,17 +27,12 @@ func main() {
 
 	fmt.Printf("%8s %14s %14s %10s\n", "latency", "fujitsu 2ctx", "mth 2ctx", "fuj/mth")
 	for _, lat := range []int{1, 50, 100} {
-		base := mtvec.DefaultConfig()
-		base.Contexts = 2
-		base.Mem.Latency = lat
-
-		fuj := base
-		fuj.DualScalar = true
-		fr, err := mtvec.RunQueue(suite, fuj)
+		base := mtvec.Queue(suite, mtvec.WithContexts(2), mtvec.WithMemLatency(lat))
+		fr, err := ses.Run(ctx, base.With(mtvec.WithDualScalar(true)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		mr, err := mtvec.RunQueue(suite, base)
+		mr, err := ses.Run(ctx, base)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	// A memoizing session: the per-latency solo runs shared by rows are
+	// simulated once each, and the sweep fans out over all cores.
+	ses := mtvec.NewSession()
 	const scale = 1e-4 // keep the example fast; raise for fidelity
 
 	var suite []*mtvec.Workload
@@ -26,30 +31,26 @@ func main() {
 
 	fmt.Printf("%8s %12s %12s %12s %10s\n", "latency", "baseline", "2 threads", "4 threads", "IDEAL")
 	for _, lat := range []int{1, 25, 50, 75, 100} {
-		cfg := mtvec.DefaultConfig()
-		cfg.Mem.Latency = lat
-
-		// Baseline: the programs one after another on one context.
-		var baseline int64
+		// Baseline: the programs one after another on one context, then
+		// the 2- and 4-context job queues — one batch, run concurrently.
+		var specs []mtvec.RunSpec
 		for _, w := range suite {
-			rep, err := mtvec.RunSolo(w, cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
+			specs = append(specs, mtvec.Solo(w, mtvec.WithMemLatency(lat)))
+		}
+		for _, contexts := range []int{2, 4} {
+			specs = append(specs, mtvec.Queue(suite,
+				mtvec.WithMemLatency(lat), mtvec.WithContexts(contexts)))
+		}
+		reps, err := ses.RunAll(ctx, specs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var baseline int64
+		for _, rep := range reps[:len(suite)] {
 			baseline += rep.Cycles
 		}
-
-		row := []int64{baseline}
-		for _, ctx := range []int{2, 4} {
-			c := cfg
-			c.Contexts = ctx
-			rep, err := mtvec.RunQueue(suite, c)
-			if err != nil {
-				log.Fatal(err)
-			}
-			row = append(row, rep.Cycles)
-		}
-		fmt.Printf("%8d %12d %12d %12d %10d\n", lat, row[0], row[1], row[2], ideal)
+		fmt.Printf("%8d %12d %12d %12d %10d\n",
+			lat, baseline, reps[len(suite)].Cycles, reps[len(suite)+1].Cycles, ideal)
 	}
 
 	fmt.Println("\nThe baseline degrades almost linearly with latency; the")

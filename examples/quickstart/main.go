@@ -1,9 +1,11 @@
 // Quickstart: build one of the paper's benchmark reconstructions, run it
 // on the reference Convex C3400-class machine, then on a 2-context
-// multithreaded machine with a companion program, and compare.
+// multithreaded machine with a companion program, and compare — all
+// through the Session API (context-aware, memoized, observable).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +13,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	ses := mtvec.NewSession()
+
 	// Scale 1e-3 reproduces Table 3 at thousandth size (the default).
 	const scale = mtvec.DefaultScale
 
@@ -24,8 +29,7 @@ func main() {
 	}
 
 	// Reference machine: one context, single memory port, latency 50.
-	ref := mtvec.DefaultConfig()
-	solo, err := mtvec.RunSolo(flo52, ref)
+	solo, err := ses.Run(ctx, mtvec.Solo(flo52))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,9 +41,8 @@ func main() {
 
 	// Multithreaded machine: flo52 on thread 0, swm256 restarting as a
 	// companion until it completes (the paper's Section 4.1 setup).
-	mth := ref
-	mth.Contexts = 2
-	grouped, err := mtvec.RunGroup(flo52, []*mtvec.Workload{swm256}, mth)
+	// Group defaults to 1+len(companions) contexts.
+	grouped, err := ses.Run(ctx, mtvec.Group(flo52, []*mtvec.Workload{swm256}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	ses := mtvec.NewSession()
 	const scale = 1e-4
 
 	var suite []*mtvec.Workload
@@ -25,10 +28,8 @@ func main() {
 	fmt.Printf("%-12s %12s %10s %8s %14s\n", "policy", "cycles", "mem occ", "VOPC", "lost decode")
 	var unfair int64
 	for _, name := range mtvec.PolicyNames() {
-		cfg := mtvec.DefaultConfig()
-		cfg.Contexts = 3
-		cfg.Policy = mtvec.PolicyByName(name)
-		rep, err := mtvec.RunQueue(suite, cfg)
+		rep, err := ses.Run(ctx, mtvec.Queue(suite,
+			mtvec.WithContexts(3), mtvec.WithPolicy(name)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -144,8 +144,8 @@ type jobSource func() (*prog.Stream, string, bool)
 
 // newContext builds an idle context: no register has an in-flight writer
 // (wLast = -1 marks the writer inactive from cycle 0 on).
-func newContext(id int) *context {
-	c := &context{id: id}
+func newContext(id int) *hwContext {
+	c := &hwContext{id: id}
 	for i := range c.vregs {
 		c.vregs[i].wFirst = -1
 		c.vregs[i].wLast = -1
@@ -155,7 +155,7 @@ func newContext(id int) *context {
 
 // context is one hardware context: its registers, its instruction stream
 // and its progress accounting.
-type context struct {
+type hwContext struct {
 	id int
 
 	// Architectural state timing.
@@ -182,7 +182,7 @@ type context struct {
 
 // refill fetches the next head instruction, pulling a new job when the
 // current stream ends. It reports whether the context has work.
-func (c *context) refill(m *Machine) bool {
+func (c *hwContext) refill(m *Machine) bool {
 	if c.headValid {
 		return true
 	}
@@ -218,7 +218,7 @@ func (c *context) refill(m *Machine) bool {
 
 // partialInsts returns how far into the current (unfinished) run the
 // context is, in dynamic instructions.
-func (c *context) partialInsts() int64 {
+func (c *hwContext) partialInsts() int64 {
 	if c.stream == nil {
 		return 0
 	}
@@ -232,7 +232,7 @@ func (c *context) partialInsts() int64 {
 
 // quiesce returns the cycle by which all of the context's in-flight
 // register activity has drained.
-func (c *context) quiesce(now Cycle) Cycle {
+func (c *hwContext) quiesce(now Cycle) Cycle {
 	q := now
 	for i := range c.vregs {
 		v := &c.vregs[i]

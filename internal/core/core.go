@@ -24,14 +24,20 @@
 // A Machine is single-use and not safe for concurrent use, but a run is
 // a pure function of its Config and input streams: the same inputs
 // always produce the same Report, cycle for cycle. Distinct Machines
-// share no mutable state (give each its own Config.Policy instance —
-// sched.ByName returns a fresh one — since policies may carry per-run
-// state), so the experiment engine (internal/runner) simulates many
-// Machines in parallel and still gets byte-identical results at any
-// worker count.
+// share no mutable state: New clones Config.Policy (policies may carry
+// per-run state), so one Config value can be reused across concurrent
+// runs, and the session engine (internal/session, internal/runner)
+// simulates many Machines in parallel and still gets byte-identical
+// results at any worker count.
+//
+// RunContext plumbs context.Context cancellation into the simulation
+// loop. The deadline is checked on a coarse iteration stride, so an
+// uncancelled run is exactly as fast and exactly as deterministic as
+// Run; a cancelled run returns ctx.Err() and no report.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mtvec/internal/isa"
@@ -71,7 +77,21 @@ type Config struct {
 	// machine).
 	IssueWidth int
 
-	// RecordSpans enables Figure 9 execution-profile capture.
+	// Observers receive streaming run events (progress, thread
+	// switches, program spans). Observers do not affect the simulated
+	// outcome; see Observer for the determinism contract.
+	Observers []Observer
+
+	// ProgressStride is the simulated-cycle interval between
+	// Observer.Progress events; 0 selects DefaultProgressStride.
+	ProgressStride Cycle
+
+	// RecordSpans enables Figure 9 execution-profile capture in
+	// Report.Spans.
+	//
+	// Deprecated: span capture is an Observer concern now; RecordSpans
+	// is kept as a shorthand that attaches a built-in SpanRecorder and
+	// copies its spans into the Report.
 	RecordSpans bool
 
 	// DisableFastForward turns off the all-threads-blocked clock skip.
@@ -128,18 +148,23 @@ type Machine struct {
 	mem *memsys.System
 
 	fu1, fu2, ld fuState
-	ctxs         []*context
+	ctxs         []*hwContext
 
 	now        Cycle
 	cur        int
 	curBlocked bool
+	lastDisp   int // context of the previous dispatch (-1 at start)
 
 	tl             stats.UnitTimeline
 	lost           int64
 	dispatched     int64
 	vectorArithOps int64
 	vectorOps      int64
-	spans          []stats.Span
+
+	obs            []Observer
+	spanRec        *SpanRecorder // backs Config.RecordSpans
+	progressStride Cycle
+	nextProgress   Cycle
 
 	ran bool
 }
@@ -159,7 +184,20 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = sched.Unfair{}
 	}
-	m := &Machine{cfg: cfg, lat: cfg.Lat, mem: mem, cur: -1}
+	// Take ownership of the policy: cloning makes sharing one Config
+	// (or one policy value) across concurrent runs safe by construction.
+	cfg.Policy = cfg.Policy.Clone()
+	m := &Machine{cfg: cfg, lat: cfg.Lat, mem: mem, cur: -1, lastDisp: -1}
+	m.obs = append(m.obs, cfg.Observers...)
+	if cfg.RecordSpans {
+		m.spanRec = &SpanRecorder{}
+		m.obs = append(m.obs, m.spanRec)
+	}
+	m.progressStride = cfg.ProgressStride
+	if m.progressStride <= 0 {
+		m.progressStride = DefaultProgressStride
+	}
+	m.nextProgress = m.progressStride
 	for i := 0; i < cfg.Contexts; i++ {
 		m.ctxs = append(m.ctxs, newContext(i))
 	}
@@ -265,12 +303,40 @@ func (m *Machine) Dispatchable(t int) bool {
 // Run simulates until the stop condition triggers or all work drains,
 // returning the collected metrics.
 func (m *Machine) Run(stop Stop) (*stats.Report, error) {
+	return m.RunContext(context.Background(), stop)
+}
+
+// cancelCheckStride is how many simulated cycles pass between context
+// checks. Coarse enough to cost nothing (one comparison per loop
+// iteration, one ctx.Err() per stride), fine enough that a cancelled
+// run stops within microseconds of wall time.
+const cancelCheckStride Cycle = 1 << 12
+
+// RunContext is Run with cancellation: when ctx is cancelled or its
+// deadline passes, the run stops and returns ctx.Err() with no report.
+// Cancellation never yields partial results — a Report always describes
+// a run that reached its stop condition — and an uncancelled RunContext
+// is byte-identical to Run.
+func (m *Machine) RunContext(ctx context.Context, stop Stop) (*stats.Report, error) {
 	if m.ran {
 		return nil, fmt.Errorf("core: machine already ran; build a new one")
 	}
 	m.ran = true
 
+	done := ctx.Done()
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	nextCheck := cancelCheckStride
 	for {
+		if done != nil && m.now >= nextCheck {
+			nextCheck = m.now + cancelCheckStride
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if stop.MaxCycles > 0 && m.now >= stop.MaxCycles {
 			break
 		}
@@ -300,6 +366,9 @@ func (m *Machine) Run(stop Stop) (*stats.Report, error) {
 			m.stepShared()
 		}
 		m.now++
+		if len(m.obs) > 0 {
+			m.notifyProgress()
+		}
 	}
 
 	if err := m.streamErrors(); err != nil {
@@ -318,6 +387,12 @@ func (m *Machine) stepShared() {
 	}
 	c := m.ctxs[th]
 	if ok, hint := m.tryDispatch(c, true); ok {
+		if th != m.lastDisp {
+			if len(m.obs) > 0 {
+				m.notifySwitch(m.lastDisp, th)
+			}
+			m.lastDisp = th
+		}
 		m.completeDispatch(c)
 		m.cur, m.curBlocked = th, false
 	} else {
@@ -377,7 +452,7 @@ func (m *Machine) stepDualScalar() {
 
 // completeDispatch consumes the head instruction after a successful
 // dispatch.
-func (m *Machine) completeDispatch(c *context) {
+func (m *Machine) completeDispatch(c *hwContext) {
 	c.headValid = false
 	c.dispatched++
 	m.dispatched++
@@ -421,18 +496,20 @@ func (m *Machine) skipTo(target Cycle, lostPerCycle int64) {
 	m.now += skipped
 }
 
-// closeSpan records the end of a context's current program segment.
-func (m *Machine) closeSpan(c *context) {
+// closeSpan records the end of a context's current program segment and
+// streams it to the observers.
+func (m *Machine) closeSpan(c *hwContext) {
 	if !c.spanOpen {
 		return
 	}
 	c.spanOpen = false
-	if !m.cfg.RecordSpans {
+	if len(m.obs) == 0 {
 		return
 	}
-	m.spans = append(m.spans, stats.Span{
-		Thread: c.id, Program: c.program, Start: c.spanStart, End: m.now,
-	})
+	s := stats.Span{Thread: c.id, Program: c.program, Start: c.spanStart, End: m.now}
+	for _, o := range m.obs {
+		o.Span(s)
+	}
 }
 
 // streamErrors surfaces trace replay failures.
@@ -488,7 +565,9 @@ func (m *Machine) report(stop Stop) *stats.Report {
 			Dispatched:   c.dispatched,
 		})
 	}
-	rep.Spans = m.spans
+	if m.spanRec != nil {
+		rep.Spans = m.spanRec.Spans
+	}
 	return rep
 }
 

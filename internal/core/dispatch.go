@@ -10,7 +10,7 @@ import (
 // blocked" test and the skip-ahead estimator use this). On failure it
 // returns a sound lower bound on the cycle the dispatch could first
 // succeed, used to fast-forward when every thread is blocked.
-func (m *Machine) tryDispatch(c *context, commit bool) (bool, Cycle) {
+func (m *Machine) tryDispatch(c *hwContext, commit bool) (bool, Cycle) {
 	d := &c.head
 	info := isa.InfoOf(d.Op)
 	switch info.Kind {
@@ -27,7 +27,7 @@ func (m *Machine) tryDispatch(c *context, commit bool) (bool, Cycle) {
 }
 
 // scalarReady checks an A/S operand's scoreboard entry.
-func (c *context) scalarReady(o isa.Operand, now Cycle) (bool, Cycle) {
+func (c *hwContext) scalarReady(o isa.Operand, now Cycle) (bool, Cycle) {
 	switch o.Class {
 	case isa.ClassA:
 		if r := c.aReady[o.Reg]; r > now {
@@ -42,7 +42,7 @@ func (c *context) scalarReady(o isa.Operand, now Cycle) (bool, Cycle) {
 }
 
 // setScalarReady books a result into the scalar scoreboard.
-func (c *context) setScalarReady(o isa.Operand, at Cycle) {
+func (c *hwContext) setScalarReady(o isa.Operand, at Cycle) {
 	switch o.Class {
 	case isa.ClassA:
 		c.aReady[o.Reg] = at
@@ -51,7 +51,7 @@ func (c *context) setScalarReady(o isa.Operand, at Cycle) {
 	}
 }
 
-func (m *Machine) dispatchScalar(c *context, d *isa.DynInst, commit bool) (bool, Cycle) {
+func (m *Machine) dispatchScalar(c *hwContext, d *isa.DynInst, commit bool) (bool, Cycle) {
 	now := m.now
 	if ok, r := c.scalarReady(d.Src1, now); !ok {
 		return false, r
@@ -71,7 +71,7 @@ func (m *Machine) dispatchScalar(c *context, d *isa.DynInst, commit bool) (bool,
 	return true, 0
 }
 
-func (m *Machine) dispatchScalarMem(c *context, d *isa.DynInst, info isa.Info, commit bool) (bool, Cycle) {
+func (m *Machine) dispatchScalarMem(c *hwContext, d *isa.DynInst, info isa.Info, commit bool) (bool, Cycle) {
 	now := m.now
 	if ok, r := c.scalarReady(d.Src1, now); !ok {
 		return false, r
@@ -129,7 +129,7 @@ func destFree(v *vregState, now Cycle) (bool, Cycle) {
 
 // checkBankReads verifies read-port capacity for the given source
 // registers over [s, e), counting sources that share a bank together.
-func (c *context) checkBankReads(srcs []uint8, s, e Cycle) (bool, Cycle) {
+func (c *hwContext) checkBankReads(srcs []uint8, s, e Cycle) (bool, Cycle) {
 	var perBank [isa.NumVBanks]int
 	for _, r := range srcs {
 		perBank[isa.VBank(r)]++
@@ -153,7 +153,7 @@ func (c *context) checkBankReads(srcs []uint8, s, e Cycle) (bool, Cycle) {
 }
 
 // commitReads records read windows and port usage for sources.
-func (c *context) commitReads(srcs []uint8, s, e Cycle, now Cycle) {
+func (c *hwContext) commitReads(srcs []uint8, s, e Cycle, now Cycle) {
 	for _, r := range srcs {
 		c.vregs[r].addReader(now, e)
 		bank := &c.banks[isa.VBank(r)]
@@ -162,7 +162,7 @@ func (c *context) commitReads(srcs []uint8, s, e Cycle, now Cycle) {
 	}
 }
 
-func (m *Machine) dispatchVectorArith(c *context, d *isa.DynInst, commit bool) (bool, Cycle) {
+func (m *Machine) dispatchVectorArith(c *hwContext, d *isa.DynInst, commit bool) (bool, Cycle) {
 	now := m.now
 	vl := Cycle(d.VL)
 
@@ -257,7 +257,7 @@ func (m *Machine) dispatchVectorArith(c *context, d *isa.DynInst, commit bool) (
 	return true, 0
 }
 
-func (m *Machine) dispatchVectorMem(c *context, d *isa.DynInst, info isa.Info, commit bool) (bool, Cycle) {
+func (m *Machine) dispatchVectorMem(c *hwContext, d *isa.DynInst, info isa.Info, commit bool) (bool, Cycle) {
 	now := m.now
 	vl := int(d.VL)
 

@@ -7,27 +7,29 @@
 //
 // # Concurrency and determinism
 //
-// Env is safe for concurrent use: every memo table is a singleflight
-// cache (internal/runner), so a simulation point requested by several
-// experiments at once is simulated exactly once and the result shared.
-// RunSuite fans the suite out over a worker pool — first the experiments'
-// declared sweep points (Experiment.Points), then the experiments
-// themselves — and collects results in registry order. Because each
-// simulation is a pure function of its (workload, config) key, the
-// rendered output is byte-identical for any worker count, including 1.
+// Env is a specialization of the session engine (internal/session): its
+// simulation memoization, singleflight sharing and global -jobs bound
+// all come from an embedded session.Session, with Env adding only the
+// paper-specific vocabulary (workload builds by short tag, reference
+// runs, queue sweeps, the Table 2 grouping enumeration). A simulation
+// point requested by several experiments at once is simulated exactly
+// once and the result shared. RunSuite fans the suite out over a worker
+// pool — first the experiments' declared sweep points
+// (Experiment.Points), then the experiments themselves — and collects
+// results in registry order. Because each simulation is a pure function
+// of its (workload, config) key, the rendered output is byte-identical
+// for any worker count, including 1.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync/atomic"
 	"time"
 
-	"mtvec/internal/core"
-	"mtvec/internal/memsys"
 	"mtvec/internal/prog"
 	"mtvec/internal/runner"
-	"mtvec/internal/sched"
+	"mtvec/internal/session"
 	"mtvec/internal/stats"
 	"mtvec/internal/vcomp"
 	"mtvec/internal/workload"
@@ -39,107 +41,93 @@ import (
 type Env struct {
 	Scale float64
 
-	jobs atomic.Int64 // sweep concurrency bound
-	sims atomic.Int64 // machine runs actually executed
-	// gate admits at most Jobs() concurrent leaf sections (workload
-	// builds and machine runs). Orchestration layers above may spawn
-	// freely; parked goroutines hold no slot, so the -jobs bound on
-	// concurrent simulations holds across nested fan-outs.
-	gate *runner.Gate
+	// ses owns the run memoization and the global -jobs gate; every
+	// simulation and workload build admits through it.
+	ses *session.Session
+
+	// ctx (atomically boxed) governs cancellation of the Env's runs;
+	// see SetContext.
+	ctx atomic.Pointer[ctxBox]
 
 	workloads runner.Cache[string, *workload.Workload]
-	refs      runner.Cache[refKey, *stats.Report]
-	partials  runner.Cache[partialKey, int64]
-	queues    runner.Cache[queueKey, *stats.Report]
 	naive     runner.Cache[struct{}, []*workload.Workload]
-	naiveQs   runner.Cache[[2]int, *stats.Report]
 	grouped   runner.Cache[struct{}, []GroupedRun]
 }
+
+// ctxBox wraps a context for atomic storage (contexts have varying
+// concrete types).
+type ctxBox struct{ c context.Context }
 
 // NewEnv creates an environment at the given workload scale. Internal
 // sweeps (GroupedRuns) parallelize over runtime.NumCPU() workers; use
 // SetJobs to change that.
 func NewEnv(scale float64) *Env {
-	e := &Env{Scale: scale, gate: runner.NewGate(0)}
-	e.SetJobs(0)
+	e := &Env{Scale: scale, ses: session.New()}
+	e.ctx.Store(&ctxBox{context.Background()})
 	return e
 }
+
+// Session exposes the run engine the Env specializes, for callers that
+// want to mix bespoke RunSpecs with the paper's memoized sweeps.
+func (e *Env) Session() *session.Session { return e.ses }
+
+// SetContext installs the context governing subsequent runs: cancelling
+// it aborts in-flight simulations with ctx.Err() without poisoning the
+// memo caches. The swap is atomic (safe against concurrent Env use),
+// but runs already in flight keep the context they started with, and
+// concurrent suites on one Env share whichever context was stored last.
+func (e *Env) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx.Store(&ctxBox{ctx})
+}
+
+// runCtx returns the context governing new runs.
+func (e *Env) runCtx() context.Context { return e.ctx.Load().c }
 
 // SetJobs bounds how many simulations (and workload builds) may execute
 // concurrently; n <= 0 selects runtime.NumCPU(). Results do not depend
 // on the setting.
-func (e *Env) SetJobs(n int) {
-	if n <= 0 {
-		n = runtime.NumCPU()
-	}
-	e.jobs.Store(int64(n))
-	e.gate.SetLimit(n)
-}
+func (e *Env) SetJobs(n int) { e.ses.SetJobs(n) }
 
 // Jobs returns the Env's simulation concurrency bound.
-func (e *Env) Jobs() int { return int(e.jobs.Load()) }
+func (e *Env) Jobs() int { return e.ses.Jobs() }
 
 // Simulations returns how many machine runs this Env has executed (cache
 // misses, not requests) — the quantity the memoization exists to bound.
-func (e *Env) Simulations() int64 { return e.sims.Load() }
+func (e *Env) Simulations() int64 { return e.ses.Simulations() }
 
 // BusyTime returns the cumulative wall time spent inside simulations and
 // workload builds — the serial-equivalent cost of the Env's work.
-func (e *Env) BusyTime() time.Duration { return e.gate.Busy() }
-
-type refKey struct {
-	short   string
-	latency int
-}
-
-type partialKey struct {
-	short   string
-	latency int
-	insts   int64
-}
+func (e *Env) BusyTime() time.Duration { return e.ses.Busy() }
 
 // W builds (once) and returns the workload with the given short tag.
 func (e *Env) W(short string) (*workload.Workload, error) {
-	return e.workloads.Do(short, func() (w *workload.Workload, err error) {
+	return e.workloads.DoContext(e.runCtx(), short, func() (w *workload.Workload, err error) {
 		spec := workload.ByShort(short)
 		if spec == nil {
 			return nil, fmt.Errorf("experiments: unknown workload %q", short)
 		}
-		e.gate.Do(func() { w, err = spec.Build(e.Scale) })
+		if err := e.runCtx().Err(); err != nil {
+			return nil, err
+		}
+		e.ses.Do(func() { w, err = spec.Build(e.Scale) })
 		return w, err
 	})
 }
 
-// refConfig is the reference architecture at the given memory latency.
-func refConfig(latency int) core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Mem.Latency = latency
-	return cfg
-}
-
 // RefReport runs (once) the program alone on the reference architecture.
 func (e *Env) RefReport(short string, latency int) (*stats.Report, error) {
-	return e.refs.Do(refKey{short, latency}, func() (rep *stats.Report, err error) {
-		w, err := e.W(short)
-		if err != nil {
-			return nil, err
-		}
-		e.gate.Do(func() {
-			var m *core.Machine
-			if m, err = core.New(refConfig(latency)); err != nil {
-				return
-			}
-			if err = m.SetThreadStream(0, short, w.Stream()); err != nil {
-				return
-			}
-			e.sims.Add(1)
-			rep, err = m.Run(core.Stop{})
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: reference run of %s: %w", short, err)
-		}
-		return rep, nil
-	})
+	w, err := e.W(short)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := e.ses.Run(e.runCtx(), session.Solo(w, session.WithMemLatency(latency)))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reference run of %s: %w", short, err)
+	}
+	return rep, nil
 }
 
 // RefCycles is the reference execution time C_i of Section 4.1.
@@ -157,27 +145,16 @@ func (e *Env) RefPartialCycles(short string, latency int, insts int64) (int64, e
 	if insts <= 0 {
 		return 0, nil
 	}
-	return e.partials.Do(partialKey{short, latency, insts}, func() (cycles int64, err error) {
-		w, err := e.W(short)
-		if err != nil {
-			return 0, err
-		}
-		e.gate.Do(func() {
-			var m *core.Machine
-			if m, err = core.New(refConfig(latency)); err != nil {
-				return
-			}
-			if err = m.SetThreadStream(0, short, w.Stream()); err != nil {
-				return
-			}
-			e.sims.Add(1)
-			var rep *stats.Report
-			if rep, err = m.Run(core.Stop{MaxThread0Insts: insts}); err == nil {
-				cycles = rep.Cycles
-			}
-		})
-		return cycles, err
-	})
+	w, err := e.W(short)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := e.ses.Run(e.runCtx(), session.Solo(w,
+		session.WithMemLatency(latency), session.WithMaxThread0Insts(insts)))
+	if err != nil {
+		return 0, fmt.Errorf("experiments: partial reference run of %s: %w", short, err)
+	}
+	return rep.Cycles, nil
 }
 
 // QueueSpec selects one Section 7 job-queue run: all ten programs in the
@@ -198,91 +175,75 @@ type QueueSpec struct {
 	RecordSpans bool
 }
 
-type queueKey struct {
-	contexts, latency, xbar int
-	dual                    bool
-	policy                  string
-	issueWidth              int
-	loadPorts, storePorts   int
-	banks, bankBusy         int
-	spans                   bool
-}
-
-func (s QueueSpec) key() queueKey {
-	return queueKey{
-		s.Contexts, s.Latency, s.Xbar, s.DualScalar, s.Policy,
-		s.IssueWidth, s.LoadPorts, s.StorePorts, s.Banks, s.BankBusy,
-		s.RecordSpans,
+// options translates the QueueSpec into the session's machine options.
+func (s QueueSpec) options() []session.Option {
+	opts := []session.Option{
+		session.WithContexts(s.Contexts),
+		session.WithMemLatency(s.Latency),
 	}
-}
-
-func (s QueueSpec) config() (core.Config, error) {
-	cfg := core.DefaultConfig()
-	cfg.Contexts = s.Contexts
-	cfg.Mem.Latency = s.Latency
 	if s.Xbar > 0 {
-		cfg.Lat.ReadXbar, cfg.Lat.WriteXbar = s.Xbar, s.Xbar
+		opts = append(opts, session.WithXbar(s.Xbar))
 	}
-	cfg.DualScalar = s.DualScalar
+	if s.DualScalar {
+		opts = append(opts, session.WithDualScalar(true))
+	}
 	if s.Policy != "" {
-		p := sched.ByName(s.Policy)
-		if p == nil {
-			return cfg, fmt.Errorf("experiments: unknown policy %q", s.Policy)
-		}
-		cfg.Policy = p
+		opts = append(opts, session.WithPolicy(s.Policy))
 	}
 	if s.IssueWidth > 0 {
-		cfg.IssueWidth = s.IssueWidth
+		opts = append(opts, session.WithIssueWidth(s.IssueWidth))
 	}
 	if s.LoadPorts > 0 || s.StorePorts > 0 {
-		cfg.Mem = memsys.Config{
-			Latency:    s.Latency,
-			LoadPorts:  s.LoadPorts,
-			StorePorts: s.StorePorts,
-		}
+		opts = append(opts, session.WithMemPorts(s.LoadPorts, s.StorePorts))
 	}
 	if s.Banks > 0 {
-		cfg.Mem.Banks, cfg.Mem.BankBusy = s.Banks, s.BankBusy
+		opts = append(opts, session.WithMemBanks(s.Banks, s.BankBusy))
 	}
-	cfg.RecordSpans = s.RecordSpans
-	return cfg, nil
+	if s.RecordSpans {
+		opts = append(opts, session.WithSpans())
+	}
+	return opts
+}
+
+// suite returns the queue-order workloads, built once.
+func (e *Env) suite() ([]*workload.Workload, error) {
+	specs := workload.QueueOrder()
+	ws := make([]*workload.Workload, 0, len(specs))
+	for _, spec := range specs {
+		w, err := e.W(spec.Short)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
 }
 
 // QueueRun executes (once) the ten-program job queue under the spec.
 func (e *Env) QueueRun(s QueueSpec) (*stats.Report, error) {
-	return e.queues.Do(s.key(), func() (rep *stats.Report, err error) {
-		cfg, err := s.config()
-		if err != nil {
-			return nil, err
-		}
-		ws := make([]*workload.Workload, 0, len(workload.QueueOrder()))
-		for _, spec := range workload.QueueOrder() {
-			w, err := e.W(spec.Short)
-			if err != nil {
-				return nil, err
-			}
-			ws = append(ws, w)
-		}
-		e.gate.Do(func() {
-			e.sims.Add(1)
-			rep, err = runQueueOn(ws, cfg)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: queue run (%d ctx, lat %d): %w", s.Contexts, s.Latency, err)
-		}
-		return rep, nil
-	})
+	ws, err := e.suite()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := e.ses.Run(e.runCtx(), session.Queue(ws, s.options()...))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: queue run (%d ctx, lat %d): %w", s.Contexts, s.Latency, err)
+	}
+	return rep, nil
 }
 
 // NaiveSuite builds (once) the queue-order workloads with the compiler's
 // load hoisting disabled — the ext-compiler counterfactual.
 func (e *Env) NaiveSuite() ([]*workload.Workload, error) {
-	return e.naive.Do(struct{}{}, func() ([]*workload.Workload, error) {
+	return e.naive.DoContext(e.runCtx(), struct{}{}, func() ([]*workload.Workload, error) {
 		specs := workload.QueueOrder()
 		out := make([]*workload.Workload, len(specs))
 		pool := runner.New(4 * e.Jobs())
 		err := pool.Map(len(specs), func(i int) (err error) {
-			e.gate.Do(func() { out[i], err = specs[i].BuildOpts(e.Scale, vcomp.Options{NoHoist: true}) })
+			if err := e.runCtx().Err(); err != nil {
+				return err
+			}
+			e.ses.Do(func() { out[i], err = specs[i].BuildOpts(e.Scale, vcomp.Options{NoHoist: true}) })
 			return err
 		})
 		if err != nil {
@@ -295,43 +256,16 @@ func (e *Env) NaiveSuite() ([]*workload.Workload, error) {
 // NaiveQueueRun executes (once) the job queue built by the naive
 // (no-hoist) compiler on the reference-style machine.
 func (e *Env) NaiveQueueRun(contexts, latency int) (*stats.Report, error) {
-	return e.naiveQs.Do([2]int{contexts, latency}, func() (rep *stats.Report, err error) {
-		ws, err := e.NaiveSuite()
-		if err != nil {
-			return nil, err
-		}
-		cfg := refConfig(latency)
-		cfg.Contexts = contexts
-		e.gate.Do(func() {
-			e.sims.Add(1)
-			rep, err = runQueueOn(ws, cfg)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: naive queue run (%d ctx, lat %d): %w", contexts, latency, err)
-		}
-		return rep, nil
-	})
-}
-
-// runQueueOn runs prebuilt workloads as a job queue on a machine built
-// from cfg.
-func runQueueOn(ws []*workload.Workload, cfg core.Config) (*stats.Report, error) {
-	m, err := core.New(cfg)
+	ws, err := e.NaiveSuite()
 	if err != nil {
 		return nil, err
 	}
-	q := core.NewJobQueue()
-	for _, w := range ws {
-		w := w
-		q.Add(w.Spec.Short, func() *prog.Stream { return w.Stream() })
+	rep, err := e.ses.Run(e.runCtx(), session.Queue(ws,
+		session.WithContexts(contexts), session.WithMemLatency(latency)))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: naive queue run (%d ctx, lat %d): %w", contexts, latency, err)
 	}
-	src := q.Source()
-	for i := 0; i < cfg.Contexts; i++ {
-		if err := m.SetThread(i, src); err != nil {
-			return nil, err
-		}
-	}
-	return m.Run(core.Stop{})
+	return rep, nil
 }
 
 // SuiteDemand merges the ten programs' demand statistics (for the IDEAL
@@ -368,7 +302,7 @@ type GroupedRun struct {
 // the Env's worker budget; the returned slice is always in the same
 // deterministic enumeration order.
 func (e *Env) GroupedRuns() ([]GroupedRun, error) {
-	return e.grouped.Do(struct{}{}, func() ([]GroupedRun, error) {
+	return e.grouped.DoContext(e.runCtx(), struct{}{}, func() ([]GroupedRun, error) {
 		const latency = 50
 		g := workload.DefaultGroupings()
 		var runs []GroupedRun
@@ -395,8 +329,8 @@ func (e *Env) GroupedRuns() ([]GroupedRun, error) {
 		}
 
 		// The pool only orchestrates: leaf simulations admit through the
-		// Env's gate, so width beyond Jobs() just keeps gate slots fed
-		// while some tasks park on shared singleflight entries. The
+		// session's gate, so width beyond Jobs() just keeps gate slots
+		// fed while some tasks park on shared singleflight entries. The
 		// reference runs feed every grouping's speedup denominator;
 		// warming them first keeps the fan-out from bunching up on their
 		// entries.
@@ -419,8 +353,6 @@ func (e *Env) GroupedRuns() ([]GroupedRun, error) {
 
 func (e *Env) runGrouped(r *GroupedRun, latency int) error {
 	r.Contexts = 1 + len(r.Companions)
-	cfg := refConfig(latency)
-	cfg.Contexts = r.Contexts
 	pw, err := e.W(r.Primary)
 	if err != nil {
 		return err
@@ -431,24 +363,7 @@ func (e *Env) runGrouped(r *GroupedRun, latency int) error {
 			return err
 		}
 	}
-	var rep *stats.Report
-	e.gate.Do(func() {
-		var m *core.Machine
-		if m, err = core.New(cfg); err != nil {
-			return
-		}
-		if err = m.SetThreadStream(0, r.Primary, pw.Stream()); err != nil {
-			return
-		}
-		for i, comp := range r.Companions {
-			cw := cws[i]
-			if err = m.SetThread(i+1, core.Repeat(comp, func() *prog.Stream { return cw.Stream() })); err != nil {
-				return
-			}
-		}
-		e.sims.Add(1)
-		rep, err = m.Run(core.Stop{Thread0Complete: true})
-	})
+	rep, err := e.ses.Run(e.runCtx(), session.Group(pw, cws, session.WithMemLatency(latency)))
 	if err != nil {
 		return fmt.Errorf("grouped run %s+%v: %w", r.Primary, r.Companions, err)
 	}

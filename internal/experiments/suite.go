@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,21 @@ func (s *SuiteStats) Parallelism() float64 {
 // errors are joined in that order too, so output is deterministic: any
 // jobs value — including 1 — produces byte-identical results.
 func RunSuite(env *Env, exps []Experiment, jobs int) ([]*Result, *SuiteStats, error) {
+	return RunSuiteContext(context.Background(), env, exps, jobs)
+}
+
+// RunSuiteContext is RunSuite under a context: cancellation or deadline
+// expiry aborts in-flight simulations, the joined error includes
+// ctx.Err() for every affected experiment, and no partial results are
+// returned. The Env's memo caches are not poisoned, and the Env's own
+// context is restored on return — so after a cancelled suite, direct
+// Env calls (or a later RunSuite) resume where the cancelled one
+// stopped instead of replaying the stale cancellation.
+func RunSuiteContext(ctx context.Context, env *Env, exps []Experiment, jobs int) ([]*Result, *SuiteStats, error) {
 	start := time.Now()
+	prev := env.runCtx()
+	env.SetContext(ctx)
+	defer env.SetContext(prev)
 	env.SetJobs(jobs)
 	sims0, busy0 := env.Simulations(), env.BusyTime()
 	// The pool only orchestrates; actual simulations admit through the

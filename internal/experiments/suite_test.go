@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -115,5 +116,23 @@ func TestRunSuiteReportsExperimentErrors(t *testing.T) {
 		if err.Error() != want {
 			t.Fatalf("jobs=%d: err = %q, want %q (deterministic, experiment-attributed)", jobs, err, want)
 		}
+	}
+}
+
+// TestRunSuiteContextRestoresEnvContext: a cancelled suite must not
+// leave its dead context installed on the shared Env — later direct Env
+// calls run normally.
+func TestRunSuiteContextRestoresEnvContext(t *testing.T) {
+	env := NewEnv(testScale)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := RunSuiteContext(ctx, env, []Experiment{*ByID("table3")}, 2); err == nil {
+		t.Fatal("cancelled suite reported success")
+	}
+	if _, err := env.RefReport("tf", 50); err != nil {
+		t.Fatalf("env poisoned after cancelled suite: %v", err)
+	}
+	if n := env.Simulations(); n != 1 {
+		t.Fatalf("simulations = %d, want 1", n)
 	}
 }

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -46,6 +48,81 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	e.val, e.err = fn()
 	close(e.done)
 	return e.val, e.err
+}
+
+// Forget removes key's entry, so the next Do for it recomputes.
+// Goroutines already waiting on the entry still receive its result.
+func (c *Cache[K, V]) Forget(key K) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
+// forgetEntry removes key only if it still maps to e, so a retry never
+// evicts a newer (good or in-flight) entry another caller installed.
+func (c *Cache[K, V]) forgetEntry(key K, e *cacheEntry[V]) {
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok && cur == e {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+}
+
+// IsContextErr reports a cancelled or expired context — the one error
+// class the engine never memoizes, because it would not fail
+// identically on retry. The session engine and the CLIs share this
+// single predicate.
+func IsContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// DoContext is Do with cancellation discipline: entries whose compute
+// failed with a context error are forgotten (never memoized), the
+// computing caller returns its own cancellation, a parked waiter stays
+// responsive to its own ctx (it unblocks with ctx.Err() while the
+// leader's computation continues for the others), and a waiter that
+// observes another caller's cancellation retries the computation under
+// its own still-live ctx. The single-computation guarantee holds for
+// every entry that does not end in a cancellation.
+func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	for {
+		c.mu.Lock()
+		if c.entries == nil {
+			c.entries = make(map[K]*cacheEntry[V])
+		}
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				var zero V
+				return zero, ctx.Err()
+			}
+			if e.err == nil || !IsContextErr(e.err) {
+				return e.val, e.err
+			}
+			// The computing caller was cancelled. Drop the poisoned
+			// entry (only if it is still the installed one); if our own
+			// context is live the cancellation was not ours, so retry.
+			c.forgetEntry(key, e)
+			if err := ctx.Err(); err != nil {
+				var zero V
+				return zero, err
+			}
+			continue
+		}
+		e := &cacheEntry[V]{done: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+
+		c.misses.Add(1)
+		e.val, e.err = fn()
+		close(e.done)
+		if e.err != nil && IsContextErr(e.err) {
+			c.forgetEntry(key, e)
+		}
+		return e.val, e.err
+	}
 }
 
 // Misses returns how many times a compute function actually ran — the

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -183,5 +184,127 @@ func TestGateBoundsConcurrency(t *testing.T) {
 	}
 	if NewGate(0).Limit() < 1 {
 		t.Fatal("default gate limit")
+	}
+}
+
+func TestCacheForget(t *testing.T) {
+	var c Cache[string, int]
+	calls := 0
+	compute := func() (int, error) { calls++; return calls, nil }
+	if v, _ := c.Do("k", compute); v != 1 {
+		t.Fatalf("first Do = %d", v)
+	}
+	if v, _ := c.Do("k", compute); v != 1 {
+		t.Fatalf("cached Do = %d, want memoized 1", v)
+	}
+	c.Forget("k")
+	if v, _ := c.Do("k", compute); v != 2 {
+		t.Fatalf("post-Forget Do = %d, want recompute 2", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d", n)
+	}
+	c.Forget("absent") // forgetting a missing key is a no-op
+}
+
+// TestDoContextCancelledLeaderWaiterRetries: a waiter that observes the
+// singleflight leader's cancellation recomputes under its own live
+// context, and the poisoned entry is never memoized.
+func TestDoContextCancelledLeaderWaiterRetries(t *testing.T) {
+	var c Cache[string, int]
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	lctx, lcancel := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	var leaderErr, waiterErr error
+	var waiterVal int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, leaderErr = c.DoContext(lctx, "k", func() (int, error) {
+			close(leaderStarted)
+			<-release
+			return 0, lctx.Err()
+		})
+	}()
+	<-leaderStarted
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		waiterVal, waiterErr = c.DoContext(context.Background(), "k", func() (int, error) {
+			return 42, nil
+		})
+	}()
+	lcancel()
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", leaderErr)
+	}
+	if waiterErr != nil || waiterVal != 42 {
+		t.Fatalf("waiter got %d/%v, want 42/nil", waiterVal, waiterErr)
+	}
+	// The good recomputation is memoized; the cancellation is not.
+	if v, err := c.DoContext(context.Background(), "k", func() (int, error) {
+		t.Error("good entry was evicted")
+		return -1, nil
+	}); v != 42 || err != nil {
+		t.Fatalf("memoized value = %d/%v", v, err)
+	}
+}
+
+// TestDoContextCancelledCallerNotMemoized: a compute that fails with the
+// caller's own cancellation leaves no entry behind.
+func TestDoContextCancelledCallerNotMemoized(t *testing.T) {
+	var c Cache[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DoContext(ctx, "k", func() (int, error) { return 0, ctx.Err() }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("cancelled compute left %d entries", n)
+	}
+	if v, err := c.DoContext(context.Background(), "k", func() (int, error) { return 7, nil }); v != 7 || err != nil {
+		t.Fatalf("retry = %d/%v", v, err)
+	}
+}
+
+// TestDoContextWaiterRespondsToOwnCancellation: a waiter parked on an
+// in-flight entry unblocks with its own ctx.Err() without waiting for
+// the leader, and the leader's result is still memoized.
+func TestDoContextWaiterRespondsToOwnCancellation(t *testing.T) {
+	var c Cache[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.DoContext(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if v != 42 || err != nil {
+			t.Errorf("leader got %d/%v", v, err)
+		}
+	}()
+	<-started
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	wcancel()
+	if _, err := c.DoContext(wctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parked waiter err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	<-done
+	if v, err := c.DoContext(context.Background(), "k", nil); v != 42 || err != nil {
+		t.Fatalf("memoized = %d/%v", v, err)
+	}
+	if n := c.Misses(); n != 1 {
+		t.Fatalf("misses = %d, want 1", n)
 	}
 }

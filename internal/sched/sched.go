@@ -6,10 +6,11 @@
 // "studies of other policies are currently underway".
 //
 // A Policy may carry per-run state (LRU does), so a policy instance
-// belongs to exactly one machine: when simulating machines concurrently
-// — as the experiment engine in internal/runner does — obtain a fresh
-// instance per core.Config via ByName. Policies are deterministic;
-// given the same sequence of machine states they make the same picks.
+// belongs to exactly one machine. Machines take ownership by calling
+// Clone at construction, so reusing one policy value — or one
+// core.Config — across concurrent runs is safe by construction.
+// Policies are deterministic; given the same sequence of machine states
+// they make the same picks.
 package sched
 
 // MachineView is what a policy may inspect: per-thread work availability
@@ -25,15 +26,23 @@ type MachineView interface {
 // current is the thread examined last cycle (-1 at start); blocked
 // reports whether that examination failed to dispatch. Pick returns -1
 // when no thread has work.
+//
+// Clone returns an instance safe to hand to a new machine: stateless
+// policies return themselves, stateful ones return a fresh value with
+// no per-run state. core.New clones its configured policy, so one
+// Policy (and therefore one core.Config) can be shared across
+// concurrent runs.
 type Policy interface {
 	Name() string
 	Pick(m MachineView, current int, blocked bool) int
+	Clone() Policy
 }
 
 // Unfair is the paper's baseline policy.
 type Unfair struct{}
 
-func (Unfair) Name() string { return "unfair" }
+func (Unfair) Name() string    { return "unfair" }
+func (p Unfair) Clone() Policy { return p }
 
 func (Unfair) Pick(m MachineView, current int, blocked bool) int {
 	if current >= 0 && !blocked && m.HasWork(current) {
@@ -59,7 +68,8 @@ func (Unfair) Pick(m MachineView, current int, blocked bool) int {
 // starting the search after the current thread.
 type RoundRobin struct{}
 
-func (RoundRobin) Name() string { return "roundrobin" }
+func (RoundRobin) Name() string    { return "roundrobin" }
+func (p RoundRobin) Clone() Policy { return p }
 
 func (RoundRobin) Pick(m MachineView, current int, blocked bool) int {
 	n := m.NumThreads()
@@ -91,7 +101,8 @@ func (RoundRobin) Pick(m MachineView, current int, blocked bool) int {
 // chaining opportunities.
 type EveryCycle struct{}
 
-func (EveryCycle) Name() string { return "everycycle" }
+func (EveryCycle) Name() string    { return "everycycle" }
+func (p EveryCycle) Clone() Policy { return p }
 
 func (EveryCycle) Pick(m MachineView, current int, blocked bool) int {
 	n := m.NumThreads()
@@ -123,6 +134,10 @@ type LRU struct {
 }
 
 func (*LRU) Name() string { return "lru" }
+
+// Clone returns a fresh LRU with no recency state, so a shared Config
+// never leaks one run's history into another.
+func (*LRU) Clone() Policy { return &LRU{} }
 
 func (p *LRU) Pick(m MachineView, current int, blocked bool) int {
 	n := m.NumThreads()

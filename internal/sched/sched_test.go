@@ -117,3 +117,37 @@ func TestByNameAndNames(t *testing.T) {
 		t.Error("unknown policy should be nil")
 	}
 }
+
+func TestCloneReturnsUsableInstances(t *testing.T) {
+	for _, name := range Names() {
+		p := ByName(name)
+		c := p.Clone()
+		if c == nil || c.Name() != name {
+			t.Fatalf("%s: Clone() = %v", name, c)
+		}
+	}
+}
+
+// TestLRUCloneDropsState: a cloned LRU must not inherit the original's
+// recency history, so one Config can back many machines.
+func TestLRUCloneDropsState(t *testing.T) {
+	p := &LRU{}
+	v := &fakeView{work: []bool{true, true, true}, dispatchable: []bool{true, true, true}}
+	// Bias the original: run thread 2 so it becomes most-recent.
+	p.Pick(v, 2, false)
+	p.Pick(v, 2, false)
+
+	c := p.Clone().(*LRU)
+	if c.lastRun != nil || c.tick != 0 {
+		t.Fatalf("clone inherited state: lastRun=%v tick=%d", c.lastRun, c.tick)
+	}
+	// A fresh instance and the clone make the same first pick; the
+	// original, carrying history, must not be affected by the clone.
+	fresh := &LRU{}
+	if got, want := c.Pick(v, 0, true), fresh.Pick(v, 0, true); got != want {
+		t.Fatalf("clone pick %d != fresh pick %d", got, want)
+	}
+	if p.lastRun == nil {
+		t.Fatal("original lost its state after Clone")
+	}
+}

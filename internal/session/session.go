@@ -1,0 +1,246 @@
+// Package session is the unified run engine behind the public API: one
+// composable entry point for every simulation methodology the paper
+// uses (solo reference runs, Section 4.1 grouped runs, Section 7 job
+// queues, user-compiled kernels).
+//
+// A Session owns a concurrency-safe, singleflight-memoized run cache —
+// the generalization of the experiment Env's per-table memo maps to any
+// run request — plus the worker gate that bounds how many simulations
+// execute at once across every layer of a nested orchestration. A
+// RunSpec declares a simulation point (mode, workloads, machine
+// options); Session.Run simulates it under a context.Context, and
+// Session.RunAll fans a batch out over the gate with deterministic
+// collection order.
+//
+// # Concurrency and determinism
+//
+// All Session methods are safe for concurrent use. Each distinct
+// memoizable spec simulates exactly once per session no matter how many
+// goroutines request it, and concurrent requesters share the same
+// *stats.Report. Because every simulation is a pure function of its
+// spec, results are byte-identical at any jobs value, including 1.
+//
+// # Cancellation
+//
+// Run honors ctx cancellation and deadlines: a cancelled run returns
+// ctx.Err() and never a partial Report. A memoized run joined by
+// several callers executes under the first caller's context; if that
+// run is cancelled the session forgets the cache entry, and waiters
+// whose own context is still live retry it, so one caller's deadline
+// never poisons the cache for the others.
+package session
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtvec/internal/core"
+	"mtvec/internal/prog"
+	"mtvec/internal/runner"
+	"mtvec/internal/stats"
+)
+
+// Session executes RunSpecs: it memoizes results, bounds concurrency,
+// and plumbs cancellation into the simulator. The zero value is not
+// usable; construct with New.
+type Session struct {
+	jobs atomic.Int64 // concurrency bound, mirrored into gate
+	sims atomic.Int64 // machine runs actually executed
+	memo bool
+
+	// gate admits at most Jobs() concurrent leaf sections (machine runs
+	// and, via Do, workload builds). Orchestration layers above may
+	// spawn freely; parked goroutines hold no slot, so the bound holds
+	// across nested fan-outs.
+	gate *runner.Gate
+	runs runner.Cache[string, *stats.Report]
+
+	// idTab assigns session-stable identities to run artifacts
+	// (workloads, compiled kernels, policy instances) for memo keys.
+	// Retaining the reference here is deliberate: the artifact's
+	// address can never be recycled by the GC into a colliding key
+	// while a cached result still depends on it.
+	idMu  sync.Mutex
+	idTab map[any]uint64
+}
+
+// idOf returns the session-stable identity of a run artifact.
+func (s *Session) idOf(x any) uint64 {
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
+	if s.idTab == nil {
+		s.idTab = make(map[any]uint64)
+	}
+	id, ok := s.idTab[x]
+	if !ok {
+		id = uint64(len(s.idTab)) + 1
+		s.idTab[x] = id
+	}
+	return id
+}
+
+// SessionOption configures a new Session.
+type SessionOption func(*Session)
+
+// WithJobs bounds how many simulations may execute concurrently;
+// n <= 0 selects runtime.NumCPU(). Results never depend on the setting.
+func WithJobs(n int) SessionOption {
+	return func(s *Session) { s.SetJobs(n) }
+}
+
+// WithoutMemo disables the run cache: every Run simulates, and repeated
+// identical specs return fresh Reports. The legacy Run* entry points
+// use a memo-less default session to keep their original semantics.
+func WithoutMemo() SessionOption {
+	return func(s *Session) { s.memo = false }
+}
+
+// New creates a session. Memoization is on by default; the simulation
+// concurrency bound defaults to runtime.NumCPU().
+func New(opts ...SessionOption) *Session {
+	s := &Session{gate: runner.NewGate(0), memo: true}
+	s.SetJobs(0)
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// SetJobs changes the simulation concurrency bound; n <= 0 selects
+// runtime.NumCPU().
+func (s *Session) SetJobs(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	s.jobs.Store(int64(n))
+	s.gate.SetLimit(n)
+}
+
+// Jobs returns the session's simulation concurrency bound.
+func (s *Session) Jobs() int { return int(s.jobs.Load()) }
+
+// Simulations returns how many machine runs this session has executed —
+// cache misses, not requests; the quantity memoization exists to bound.
+func (s *Session) Simulations() int64 { return s.sims.Load() }
+
+// Busy returns the cumulative wall time spent inside gated sections
+// (simulations and Do work) — the serial-equivalent cost of the
+// session's work.
+func (s *Session) Busy() time.Duration { return s.gate.Busy() }
+
+// Do runs fn under the session's worker gate, so non-simulation leaf
+// work (workload builds, trace generation) counts against the same
+// global concurrency bound as the simulations themselves.
+func (s *Session) Do(fn func()) { s.gate.Do(fn) }
+
+// Run simulates the spec and returns its Report. Identical memoizable
+// specs simulate once and share the result; specs carrying observers
+// always simulate. A nil ctx means context.Background().
+func (s *Session) Run(ctx context.Context, spec RunSpec) (*stats.Report, error) {
+	p, err := spec.prepare()
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !s.memo || !p.memoizable {
+		return s.simulate(ctx, spec, p)
+	}
+	return s.runs.DoContext(ctx, spec.memoKey(&p, s.idOf), func() (*stats.Report, error) {
+		return s.simulate(ctx, spec, p)
+	})
+}
+
+// RunAll simulates the specs concurrently under the session's jobs
+// bound and returns the Reports in input order. Every spec runs even if
+// an earlier one fails; errors are joined in input order, so both
+// results and error text are independent of scheduling.
+func (s *Session) RunAll(ctx context.Context, specs ...RunSpec) ([]*stats.Report, error) {
+	reps := make([]*stats.Report, len(specs))
+	// The pool only orchestrates: leaf simulations admit through the
+	// session's gate, so width beyond Jobs() just keeps gate slots fed
+	// while some tasks park on shared singleflight entries.
+	pool := runner.New(4 * s.Jobs())
+	err := pool.Map(len(specs), func(i int) error {
+		rep, err := s.Run(ctx, specs[i])
+		reps[i] = rep
+		return err
+	})
+	return reps, err
+}
+
+// simulate executes one machine run under the gate.
+func (s *Session) simulate(ctx context.Context, spec RunSpec, p plan) (rep *stats.Report, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.gate.Do(func() {
+		// Re-check after possibly parking on the gate.
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		var m *core.Machine
+		if m, err = core.New(p.cfg); err != nil {
+			return
+		}
+		if err = attachThreads(m, spec, p.cfg); err != nil {
+			return
+		}
+		s.sims.Add(1)
+		rep, err = m.RunContext(ctx, p.stop)
+	})
+	return rep, err
+}
+
+// attachThreads feeds the machine's contexts according to the spec's
+// mode, reproducing the Run* methodologies exactly.
+func attachThreads(m *core.Machine, spec RunSpec, cfg core.Config) error {
+	switch spec.mode {
+	case ModeSolo:
+		w := spec.workloads[0]
+		return m.SetThreadStream(0, w.Spec.Short, w.Stream())
+	case ModeGroup:
+		primary := spec.workloads[0]
+		if err := m.SetThreadStream(0, primary.Spec.Short, primary.Stream()); err != nil {
+			return err
+		}
+		for i, comp := range spec.workloads[1:] {
+			comp := comp
+			err := m.SetThread(i+1, core.Repeat(comp.Spec.Short, func() *prog.Stream { return comp.Stream() }))
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	case ModeQueue:
+		q := core.NewJobQueue()
+		for _, w := range spec.workloads {
+			w := w
+			q.Add(w.Spec.Short, func() *prog.Stream { return w.Stream() })
+		}
+		src := q.Source()
+		for i := 0; i < cfg.Contexts; i++ {
+			if err := m.SetThread(i, src); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ModeCompiled:
+		tr, err := spec.compiled.Trace(spec.schedule)
+		if err != nil {
+			return err
+		}
+		return m.SetThreadStream(0, spec.compiled.Prog.Name, tr.Stream())
+	}
+	return errors.New("session: spec has no mode")
+}
+
+// IsContextErr reports whether err came from a cancelled or expired
+// context — the one error class the engine never memoizes, because it
+// would not fail identically on retry.
+func IsContextErr(err error) bool { return runner.IsContextErr(err) }

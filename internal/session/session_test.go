@@ -1,0 +1,139 @@
+package session
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"mtvec/internal/core"
+	"mtvec/internal/workload"
+)
+
+const testScale = 5e-5
+
+var buildOnce = sync.OnceValues(func() (*workload.Workload, error) {
+	return workload.ByShort("tf").Build(testScale)
+})
+
+func testWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := buildOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// keySession provides stable artifact identities across keyOf calls
+// within the test binary, mirroring how one Session keys its cache.
+var keySession = New()
+
+func keyOf(t *testing.T, spec RunSpec) string {
+	t.Helper()
+	p, err := spec.prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.memoizable {
+		t.Fatal("spec unexpectedly unmemoizable")
+	}
+	return spec.memoKey(&p, keySession.idOf)
+}
+
+func TestMemoKeyCanonical(t *testing.T) {
+	w := testWorkload(t)
+
+	// Identical specs produce identical keys, independently of how the
+	// options are spelled.
+	a := keyOf(t, Solo(w, WithMemLatency(50)))
+	b := keyOf(t, Solo(w).With(WithMemLatency(50)))
+	if a != b {
+		t.Fatalf("equivalent specs keyed differently:\n a=%s\n b=%s", a, b)
+	}
+
+	// Every knob that can change a Report must change the key.
+	distinct := map[string]string{
+		"base":     keyOf(t, Solo(w)),
+		"latency":  keyOf(t, Solo(w, WithMemLatency(51))),
+		"contexts": keyOf(t, Solo(w, WithContexts(2))),
+		"xbar":     keyOf(t, Solo(w, WithXbar(3))),
+		"policy":   keyOf(t, Solo(w, WithPolicy("lru"))),
+		"issue":    keyOf(t, Solo(w, WithContexts(2), WithIssueWidth(2))),
+		"ports":    keyOf(t, Solo(w, WithMemPorts(2, 1))),
+		"banks":    keyOf(t, Solo(w, WithMemBanks(16, 4))),
+		"spans":    keyOf(t, Solo(w, WithSpans())),
+		"stop":     keyOf(t, Solo(w, WithMaxCycles(100))),
+		"insts":    keyOf(t, Solo(w, WithMaxThread0Insts(10))),
+		"queue":    keyOf(t, Queue([]*workload.Workload{w})),
+	}
+	seen := map[string]string{}
+	for name, key := range distinct {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s and %s share a memo key: %s", name, prev, key)
+		}
+		seen[key] = name
+	}
+}
+
+func TestWithDoesNotMutateOriginal(t *testing.T) {
+	w := testWorkload(t)
+	base := Solo(w)
+	derived := base.With(WithMemLatency(99))
+	if keyOf(t, base) == keyOf(t, derived) {
+		t.Fatal("With did not change the derived spec")
+	}
+	if keyOf(t, base) != keyOf(t, Solo(w)) {
+		t.Fatal("With mutated the original spec")
+	}
+}
+
+func TestObserverSpecHasNoKey(t *testing.T) {
+	w := testWorkload(t)
+	probe := core.ProgressFunc(func(int64, int64) {})
+	p, err := Solo(w, WithObserver(probe)).prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.memoizable {
+		t.Fatal("observer spec is memoizable")
+	}
+}
+
+func TestRunNilContext(t *testing.T) {
+	w := testWorkload(t)
+	rep, err := New().Run(nil, Solo(w)) //nolint:staticcheck // nil ctx is part of the contract
+	if err != nil || rep == nil {
+		t.Fatalf("nil ctx run: rep=%v err=%v", rep, err)
+	}
+}
+
+func TestCancelDoesNotPoisonCache(t *testing.T) {
+	w := testWorkload(t)
+	s := New()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(cancelled, Solo(w)); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	rep, err := s.Run(context.Background(), Solo(w))
+	if err != nil || rep == nil {
+		t.Fatalf("retry after cancellation failed: rep=%v err=%v", rep, err)
+	}
+	if n := s.Simulations(); n != 1 {
+		t.Fatalf("simulations = %d, want 1 (cancelled attempt never simulated)", n)
+	}
+}
+
+func TestValidationListsAllProblems(t *testing.T) {
+	w := testWorkload(t)
+	err := Solo(w, WithMemLatency(0), WithXbar(0), WithPolicy("nope")).Validate()
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	for _, want := range []string{"latency", "crossbar", "policy"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mtvec/internal/core"
+	"mtvec/internal/memsys"
+	"mtvec/internal/sched"
+	"mtvec/internal/vcomp"
+	"mtvec/internal/workload"
+)
+
+// Mode selects a run's methodology: which paper section's setup the
+// machine's contexts are fed with.
+type Mode int
+
+const (
+	// ModeSolo runs one workload to completion on thread 0 — the
+	// reference methodology.
+	ModeSolo Mode = iota + 1
+	// ModeGroup runs a primary on thread 0 while companions restart
+	// until it completes (Section 4.1).
+	ModeGroup
+	// ModeQueue drains a fixed job list with every context (Section 7).
+	ModeQueue
+	// ModeCompiled runs a user-compiled kernel under an invocation
+	// schedule on thread 0.
+	ModeCompiled
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSolo:
+		return "solo"
+	case ModeGroup:
+		return "group"
+	case ModeQueue:
+		return "queue"
+	case ModeCompiled:
+		return "compiled"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// RunSpec declares one simulation point: a mode, its workloads, and the
+// machine options that build the core.Config. Specs are values — build
+// one with Solo, Group, Queue or Compiled, derive variants with With —
+// and are validated when run (or eagerly via Validate).
+type RunSpec struct {
+	mode      Mode
+	workloads []*workload.Workload
+	compiled  *vcomp.Compiled
+	schedule  []vcomp.Invocation
+	opts      []Option
+}
+
+// Solo declares a reference run: w alone on thread 0, to completion.
+func Solo(w *workload.Workload, opts ...Option) RunSpec {
+	return RunSpec{mode: ModeSolo, workloads: []*workload.Workload{w}, opts: opts}
+}
+
+// Group declares a Section 4.1 grouped run: primary on thread 0,
+// companions restarting until it completes. When WithContexts is not
+// given, the context count defaults to 1+len(companions).
+func Group(primary *workload.Workload, companions []*workload.Workload, opts ...Option) RunSpec {
+	ws := append([]*workload.Workload{primary}, companions...)
+	return RunSpec{mode: ModeGroup, workloads: ws, opts: opts}
+}
+
+// Queue declares a Section 7 job-queue run: ws in order, drained by all
+// contexts, ending when every job is done.
+func Queue(ws []*workload.Workload, opts ...Option) RunSpec {
+	return RunSpec{mode: ModeQueue, workloads: append([]*workload.Workload(nil), ws...), opts: opts}
+}
+
+// Compiled declares a run of a user-compiled kernel under the given
+// invocation schedule (thread 0 only).
+func Compiled(c *vcomp.Compiled, schedule []vcomp.Invocation, opts ...Option) RunSpec {
+	return RunSpec{mode: ModeCompiled, compiled: c, schedule: append([]vcomp.Invocation(nil), schedule...), opts: opts}
+}
+
+// With returns a copy of the spec with more options appended; later
+// options win.
+func (s RunSpec) With(opts ...Option) RunSpec {
+	s.opts = append(append([]Option(nil), s.opts...), opts...)
+	return s
+}
+
+// Mode returns the spec's methodology.
+func (s RunSpec) Mode() Mode { return s.mode }
+
+// Validate reports every diagnosable problem with the spec — invalid
+// options, invalid option combinations, and mode-level inconsistencies —
+// without running anything.
+func (s RunSpec) Validate() error {
+	_, err := s.prepare()
+	return err
+}
+
+// build accumulates the machine configuration as options apply.
+type build struct {
+	cfg core.Config
+	// contextsSet records an explicit WithContexts/WithConfig so group
+	// mode can distinguish "defaulted" from "mismatched".
+	contextsSet bool
+	// Policy identity for the memo key: named policies share by name;
+	// custom instances share by session-registry identity, which is
+	// conservative (no cross-instance sharing) but never wrong.
+	policyName string
+	policyInst sched.Policy
+	stop       core.Stop
+	observers  []core.Observer
+	errs       []error
+}
+
+// Option configures one aspect of a run's machine or stop rule. Options
+// apply in order; later options win. An invalid option records a
+// diagnostic that surfaces — joined with every other diagnostic — when
+// the spec is validated or run.
+type Option func(*build)
+
+func (b *build) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// WithConfig replaces the base configuration wholesale. Options given
+// after it still apply on top. Most callers should prefer the granular
+// options; WithConfig exists for the legacy Run* entry points and for
+// knobs without a dedicated option (DisableFastForward, custom
+// latency tables).
+func WithConfig(cfg core.Config) Option {
+	return func(b *build) {
+		b.cfg = cfg
+		b.contextsSet = true
+		b.policyName, b.policyInst = "", cfg.Policy
+		if len(cfg.Observers) > 0 {
+			b.observers = append(b.observers, cfg.Observers...)
+			b.cfg.Observers = nil
+		}
+	}
+}
+
+// WithContexts sets the number of hardware contexts (1..core.MaxContexts).
+func WithContexts(n int) Option {
+	return func(b *build) {
+		if n < 1 || n > core.MaxContexts {
+			b.errf("session: contexts %d out of range 1..%d", n, core.MaxContexts)
+			return
+		}
+		b.cfg.Contexts = n
+		b.contextsSet = true
+	}
+}
+
+// WithMemLatency sets the main-memory latency in cycles (the paper's
+// central parameter; it varies 1..100).
+func WithMemLatency(cycles int) Option {
+	return func(b *build) {
+		if cycles < 1 {
+			b.errf("session: memory latency %d < 1", cycles)
+			return
+		}
+		b.cfg.Mem.Latency = cycles
+	}
+}
+
+// WithScalarLatency sets the scalar-access completion latency (the
+// Convex scalar cache); 0 means "same as main memory".
+func WithScalarLatency(cycles int) Option {
+	return func(b *build) {
+		if cycles < 0 {
+			b.errf("session: negative scalar latency %d", cycles)
+			return
+		}
+		b.cfg.Mem.ScalarLatency = cycles
+	}
+}
+
+// WithXbar sets both register-file crossbar latencies (Section 8 charges
+// the multithreaded machine 3 cycles instead of the reference 2).
+func WithXbar(cycles int) Option {
+	return func(b *build) {
+		if cycles < 1 {
+			b.errf("session: crossbar latency %d < 1", cycles)
+			return
+		}
+		b.cfg.Lat.ReadXbar, b.cfg.Lat.WriteXbar = cycles, cycles
+	}
+}
+
+// WithPolicy selects a thread-switch policy by name (sched.Names).
+func WithPolicy(name string) Option {
+	return func(b *build) {
+		p := sched.ByName(name)
+		if p == nil {
+			b.errf("session: unknown policy %q (have %s)", name, strings.Join(sched.Names(), ", "))
+			return
+		}
+		b.cfg.Policy = p
+		b.policyName, b.policyInst = name, nil
+	}
+}
+
+// WithPolicyInstance installs a custom policy value. The machine clones
+// it per run (sched.Policy.Clone), so the instance may be shared across
+// specs.
+func WithPolicyInstance(p sched.Policy) Option {
+	return func(b *build) {
+		if p == nil {
+			b.errf("session: nil policy instance")
+			return
+		}
+		b.cfg.Policy = p
+		b.policyName, b.policyInst = "", p
+	}
+}
+
+// WithDualScalar toggles the Fujitsu VP2000 dual-scalar mode of
+// Section 9 (requires exactly 2 contexts).
+func WithDualScalar(enabled bool) Option {
+	return func(b *build) { b.cfg.DualScalar = enabled }
+}
+
+// WithIssueWidth sets the decode slots per cycle (the paper's
+// future-work simultaneous-issue study; 1 is the paper's machine).
+func WithIssueWidth(n int) Option {
+	return func(b *build) {
+		if n < 1 {
+			b.errf("session: issue width %d < 1", n)
+			return
+		}
+		b.cfg.IssueWidth = n
+	}
+}
+
+// WithMemPorts replaces the single general-purpose address port with
+// dedicated load and store ports — the Cray-like extension of
+// Section 10. Like the ablation it reproduces, it also disables the
+// scalar cache (scalar accesses pay full memory latency); banking set
+// by WithMemBanks is preserved. Apply after WithMemLatency.
+func WithMemPorts(load, store int) Option {
+	return func(b *build) {
+		if load < 1 || store < 1 {
+			b.errf("session: dedicated ports need at least 1 load and 1 store, have %d/%d", load, store)
+			return
+		}
+		b.cfg.Mem = memsys.Config{
+			Latency:    b.cfg.Mem.Latency,
+			LoadPorts:  load,
+			StorePorts: store,
+			Banks:      b.cfg.Mem.Banks,
+			BankBusy:   b.cfg.Mem.BankBusy,
+		}
+	}
+}
+
+// WithMemBanks enables the banked-conflict memory model: banks must be a
+// power of two, busy is the bank recovery time in cycles.
+func WithMemBanks(banks, busy int) Option {
+	return func(b *build) {
+		if banks < 1 || busy < 0 {
+			b.errf("session: invalid bank parameters %d/%d", banks, busy)
+			return
+		}
+		b.cfg.Mem.Banks, b.cfg.Mem.BankBusy = banks, busy
+	}
+}
+
+// WithSpans enables Figure 9 execution-profile capture into
+// Report.Spans (a built-in SpanRecorder observer; unlike WithObserver
+// the captured spans are part of the memoized Report).
+func WithSpans() Option {
+	return func(b *build) { b.cfg.RecordSpans = true }
+}
+
+// WithObserver attaches streaming run observers (progress, thread
+// switches, spans). Observation is a side effect, so a spec carrying
+// observers is never served from the session's memo cache — every Run
+// simulates.
+func WithObserver(obs ...core.Observer) Option {
+	return func(b *build) {
+		for _, o := range obs {
+			if o == nil {
+				b.errf("session: nil observer")
+				return
+			}
+		}
+		b.observers = append(b.observers, obs...)
+	}
+}
+
+// WithProgressStride sets the simulated-cycle interval between
+// Observer.Progress events; 0 selects core.DefaultProgressStride.
+func WithProgressStride(cycles core.Cycle) Option {
+	return func(b *build) {
+		if cycles < 0 {
+			b.errf("session: negative progress stride %d", cycles)
+			return
+		}
+		b.cfg.ProgressStride = cycles
+	}
+}
+
+// WithMaxCycles bounds the run to the given cycle count (a safety stop;
+// 0 disables).
+func WithMaxCycles(n core.Cycle) Option {
+	return func(b *build) {
+		if n < 0 {
+			b.errf("session: negative cycle bound %d", n)
+			return
+		}
+		b.stop.MaxCycles = n
+	}
+}
+
+// WithMaxThread0Insts stops the run once thread 0 has dispatched n
+// dynamic instructions — the partial reference runs of the Section 4.1
+// speedup formula. 0 disables.
+func WithMaxThread0Insts(n int64) Option {
+	return func(b *build) {
+		if n < 0 {
+			b.errf("session: negative instruction bound %d", n)
+			return
+		}
+		b.stop.MaxThread0Insts = n
+	}
+}
+
+// plan is a validated, runnable form of a RunSpec.
+type plan struct {
+	cfg  core.Config
+	stop core.Stop
+	// memoizable is false when the run carries observers — observation
+	// is a side effect a cache hit would skip.
+	memoizable bool
+	// Policy identity for the memo key (see build).
+	policyName string
+	policyInst sched.Policy
+}
+
+// prepare applies the options, runs every validation layer, and builds
+// the memo key. All diagnostics are joined so a caller sees the full
+// list at once.
+func (s RunSpec) prepare() (plan, error) {
+	b := build{cfg: core.DefaultConfig()}
+	for _, opt := range s.opts {
+		if opt == nil {
+			b.errf("session: nil option")
+			continue
+		}
+		opt(&b)
+	}
+
+	switch s.mode {
+	case ModeSolo:
+		if len(s.workloads) != 1 || s.workloads[0] == nil {
+			b.errf("session: solo mode needs exactly one workload")
+		}
+	case ModeGroup:
+		if len(s.workloads) == 0 || s.workloads[0] == nil {
+			b.errf("session: group mode needs a primary workload")
+		}
+		for i, w := range s.workloads[1:] {
+			if w == nil {
+				b.errf("session: group mode: companion %d is nil", i)
+			}
+		}
+		if !b.contextsSet {
+			b.cfg.Contexts = len(s.workloads)
+		} else if b.cfg.Contexts != len(s.workloads) {
+			b.errf("session: group mode: %d contexts for %d programs (leave WithContexts unset to default)",
+				b.cfg.Contexts, len(s.workloads))
+		}
+		b.stop.Thread0Complete = true
+	case ModeQueue:
+		if len(s.workloads) == 0 {
+			b.errf("session: queue mode needs at least one workload")
+		}
+		for i, w := range s.workloads {
+			if w == nil {
+				b.errf("session: queue mode: workload %d is nil", i)
+			}
+		}
+	case ModeCompiled:
+		if s.compiled == nil {
+			b.errf("session: compiled mode needs a compiled kernel")
+		}
+	default:
+		b.errf("session: spec has no mode; build it with Solo, Group, Queue or Compiled")
+	}
+
+	if b.cfg.IssueWidth == 0 {
+		b.cfg.IssueWidth = 1
+	}
+	if len(b.errs) == 0 {
+		if err := b.cfg.Validate(); err != nil {
+			b.errs = append(b.errs, err)
+		}
+	}
+	if len(b.errs) > 0 {
+		return plan{}, errors.Join(b.errs...)
+	}
+
+	b.cfg.Observers = b.observers
+	return plan{
+		cfg:        b.cfg,
+		stop:       b.stop,
+		memoizable: len(b.observers) == 0,
+		policyName: b.policyName,
+		policyInst: b.policyInst,
+	}, nil
+}
+
+// memoKey canonically encodes everything a run's Report depends on. It
+// is computed lazily — only when a memoizing session actually consults
+// the cache — so the memo-less fast path pays nothing for it.
+// Workloads, compiled kernels and custom policy instances are
+// identified by the session's identity registry (idOf), which retains
+// the artifact, so a recycled allocation can never collide with a
+// cached key: two specs share a simulation only when they share the
+// built artifacts — exactly the invariant the experiment Env maintains.
+func (s RunSpec) memoKey(p *plan, idOf func(any) uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mode=%d|ws=", s.mode)
+	for _, w := range s.workloads {
+		fmt.Fprintf(&sb, "%d,", idOf(w))
+	}
+	if s.compiled != nil {
+		fmt.Fprintf(&sb, "|compiled=%d|sched=", idOf(s.compiled))
+		for _, inv := range s.schedule {
+			fmt.Fprintf(&sb, "%d:%d,", inv.Unit, inv.N)
+		}
+	}
+	policy := "default"
+	switch {
+	case p.policyName != "":
+		policy = "name:" + p.policyName
+	case p.policyInst != nil:
+		policy = fmt.Sprintf("inst:%d", idOf(p.policyInst))
+	}
+	fmt.Fprintf(&sb, "|ctx=%d|lat=%+v|mem=%+v|policy=%s|dual=%t|iw=%d|spans=%t|noff=%t|stop=%+v",
+		p.cfg.Contexts, p.cfg.Lat, p.cfg.Mem, policy, p.cfg.DualScalar,
+		p.cfg.IssueWidth, p.cfg.RecordSpans, p.cfg.DisableFastForward, p.stop)
+	return sb.String()
+}

@@ -7,29 +7,43 @@
 //
 // # Quick start
 //
+// Build a workload, open a Session, and run it:
+//
 //	w, _ := mtvec.WorkloadByShort("tf").Build(mtvec.DefaultScale)
-//	cfg := mtvec.DefaultConfig()        // reference machine, latency 50
-//	rep, _ := mtvec.RunSolo(w, cfg)
+//	ses := mtvec.NewSession()
+//	rep, _ := ses.Run(ctx, mtvec.Solo(w))
 //	fmt.Println(rep.Cycles, rep.MemOccupation())
 //
-// Multithread it:
+// Multithread it — a grouped run with a restarting companion, on a
+// 2-context machine at 80-cycle memory latency:
 //
-//	cfg.Contexts = 2
-//	rep2, _ := mtvec.RunGroup(w, []*mtvec.Workload{companion}, cfg)
+//	spec := mtvec.Group(w, []*mtvec.Workload{companion}, mtvec.WithMemLatency(80))
+//	rep2, _ := ses.Run(ctx, spec)
+//
+// Sessions are concurrency-safe and memoized: identical specs simulate
+// exactly once, RunAll fans batches out over a bounded worker gate, ctx
+// cancellation/deadlines abort cleanly (never a partial Report), and
+// observers (WithObserver, WithSpans) stream progress, thread-switch and
+// execution-profile events from inside a run.
 //
 // Define your own kernels with the kernel IR (Array, VectorLoop, ...),
-// compile them with CompileKernel, and simulate the resulting traces; or
+// compile them with CompileKernel, and run them with CompiledRun; or
 // regenerate the paper's evaluation with Experiments and NewEnv.
 //
 // RunExperiments executes the whole evaluation concurrently: shared
-// simulation points are simulated exactly once (Env is a concurrency-safe
+// simulation points are simulated exactly once (Env is a Session-backed
 // singleflight cache) and results are byte-identical at any worker count:
 //
 //	env := mtvec.NewEnv(mtvec.DefaultScale)
 //	results, stats, _ := mtvec.RunExperiments(env, mtvec.Experiments(), 0)
+//
+// The RunSolo, RunGroup, RunQueue and RunCompiled functions predate the
+// Session API and remain as deprecated wrappers; see docs/API.md for the
+// migration guide.
 package mtvec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -185,6 +199,13 @@ func RunExperiments(env *Env, exps []Experiment, jobs int) ([]*ExperimentResult,
 	return experiments.RunSuite(env, exps, jobs)
 }
 
+// RunExperimentsContext is RunExperiments under a context: cancellation
+// or deadline expiry aborts in-flight simulations and returns ctx.Err()
+// in the joined error; the Env's caches stay reusable afterwards.
+func RunExperimentsContext(ctx context.Context, env *Env, exps []Experiment, jobs int) ([]*ExperimentResult, *SuiteStats, error) {
+	return experiments.RunSuiteContext(ctx, env, exps, jobs)
+}
+
 // BuildWorkloads builds the named workloads (short tags or program
 // names) concurrently on at most jobs workers, preserving input order.
 // All names are validated before any build starts.
@@ -211,77 +232,44 @@ func BuildWorkloads(tags []string, scale float64, jobs int) ([]*Workload, error)
 }
 
 // RunSolo runs one workload to completion on a machine built from cfg.
+//
+// Deprecated: use Session.Run with a Solo spec, which adds context
+// cancellation, memoization and observers:
+//
+//	ses.Run(ctx, mtvec.Solo(w, mtvec.WithConfig(cfg)))
 func RunSolo(w *Workload, cfg Config) (*Report, error) {
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.SetThreadStream(0, w.Spec.Short, w.Stream()); err != nil {
-		return nil, err
-	}
-	return m.Run(core.Stop{})
+	return DefaultSession().Run(context.Background(), Solo(w, WithConfig(cfg)))
 }
 
 // RunGroup reproduces the Section 4.1 grouped methodology: primary runs
 // once on thread 0 while companions restart until it completes.
 // cfg.Contexts must equal 1+len(companions).
+//
+// Deprecated: use Session.Run with a Group spec:
+//
+//	ses.Run(ctx, mtvec.Group(primary, companions, mtvec.WithConfig(cfg)))
 func RunGroup(primary *Workload, companions []*Workload, cfg Config) (*Report, error) {
-	if cfg.Contexts != 1+len(companions) {
-		return nil, fmt.Errorf("mtvec: %d contexts for %d programs", cfg.Contexts, 1+len(companions))
-	}
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.SetThreadStream(0, primary.Spec.Short, primary.Stream()); err != nil {
-		return nil, err
-	}
-	for i, comp := range companions {
-		comp := comp
-		err := m.SetThread(i+1, core.Repeat(comp.Spec.Short, func() *prog.Stream { return comp.Stream() }))
-		if err != nil {
-			return nil, err
-		}
-	}
-	return m.Run(core.Stop{Thread0Complete: true})
+	return DefaultSession().Run(context.Background(), Group(primary, companions, WithConfig(cfg)))
 }
 
 // RunQueue reproduces the Section 7 methodology: the workloads form a
 // job queue drained by all contexts; the run ends when every job is done.
+//
+// Deprecated: use Session.Run with a Queue spec:
+//
+//	ses.Run(ctx, mtvec.Queue(ws, mtvec.WithConfig(cfg)))
 func RunQueue(ws []*Workload, cfg Config) (*Report, error) {
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	q := core.NewJobQueue()
-	for _, w := range ws {
-		w := w
-		q.Add(w.Spec.Short, func() *prog.Stream { return w.Stream() })
-	}
-	src := q.Source()
-	for i := 0; i < cfg.Contexts; i++ {
-		if err := m.SetThread(i, src); err != nil {
-			return nil, err
-		}
-	}
-	return m.Run(core.Stop{})
+	return DefaultSession().Run(context.Background(), Queue(ws, WithConfig(cfg)))
 }
 
 // RunCompiled runs a user-compiled kernel under the given invocation
 // schedule on a machine built from cfg (thread 0 only).
+//
+// Deprecated: use Session.Run with a CompiledRun spec:
+//
+//	ses.Run(ctx, mtvec.CompiledRun(c, schedule, mtvec.WithConfig(cfg)))
 func RunCompiled(c *Compiled, schedule []Invocation, cfg Config) (*Report, error) {
-	tr, err := c.Trace(schedule)
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.SetThreadStream(0, c.Prog.Name, tr.Stream()); err != nil {
-		return nil, err
-	}
-	return m.Run(core.Stop{})
+	return DefaultSession().Run(context.Background(), CompiledRun(c, schedule, WithConfig(cfg)))
 }
 
 // IdealCycles returns the paper's IDEAL lower bound for a set of
