@@ -1,0 +1,35 @@
+package mtvec
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// BenchScaleEnv is the environment variable the benchmark harnesses read
+// to override the workload scale (a fraction of Table 3's counts, which
+// are in millions).
+const BenchScaleEnv = "MTVEC_BENCH_SCALE"
+
+// DefaultBenchScale is the benchmark workload scale when BenchScaleEnv is
+// unset: 3e-5 of Table 3's millions keeps a full benchmark pass fast
+// while exercising every code path at realistic vector lengths.
+const DefaultBenchScale = 3e-5
+
+// BenchScale resolves the benchmark workload scale: the value of
+// MTVEC_BENCH_SCALE when set (which must parse as a positive float), the
+// default otherwise. Both the repository's testing.B suite and the
+// mtvbench -bench-json harness use it, so recorded baselines are
+// self-describing and a bad override fails fast, once, with a clear
+// message — not per benchmark at run time.
+func BenchScale() (float64, error) {
+	s := os.Getenv(BenchScaleEnv)
+	if s == "" {
+		return DefaultBenchScale, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("mtvec: bad %s %q: want a positive float", BenchScaleEnv, s)
+	}
+	return v, nil
+}

@@ -15,23 +15,31 @@ package mtvec_test
 
 import (
 	"context"
+	"fmt"
 	"os"
-	"strconv"
 	"testing"
 
 	"mtvec"
 )
 
+// The bench scale is resolved and validated exactly once, in TestMain, so
+// a bad MTVEC_BENCH_SCALE fails the whole run up front instead of
+// surfacing per benchmark at bench runtime.
+var benchScaleValue float64
+
+func TestMain(m *testing.M) {
+	v, err := mtvec.BenchScale()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	benchScaleValue = v
+	os.Exit(m.Run())
+}
+
 func benchScale(b *testing.B) float64 {
 	b.Helper()
-	if s := os.Getenv("MTVEC_BENCH_SCALE"); s != "" {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil || v <= 0 {
-			b.Fatalf("bad MTVEC_BENCH_SCALE %q", s)
-		}
-		return v
-	}
-	return 3e-5
+	return benchScaleValue
 }
 
 // benchExperiment regenerates one experiment per iteration on a fresh

@@ -1,0 +1,336 @@
+package main
+
+// Benchmark-artifact mode: mtvbench doubles as a reproducible perf
+// harness. -bench-json measures every experiment regeneration plus the
+// raw engine throughput and emits a machine-readable BENCH_<ref>.json;
+// -bench-compare diffs two such files and enforces a geomean ns/op
+// regression gate. scripts/bench.sh and the CI bench job drive both.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"mtvec"
+)
+
+// benchSchema versions the BENCH_*.json format.
+const benchSchema = 1
+
+// BenchFile is the on-disk benchmark artifact.
+type BenchFile struct {
+	Schema      int     `json:"schema"`
+	Ref         string  `json:"ref"`
+	GoVersion   string  `json:"go"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Scale       float64 `json:"scale"`
+	BenchtimeMS int64   `json:"benchtime_ms"`
+	Count       int     `json:"count"`
+
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// BenchResult is one benchmark's best sample.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// McyclesPerS reports simulated-cycle throughput for the engine
+	// benchmarks (0 elsewhere).
+	McyclesPerS float64 `json:"mcycles_per_s,omitempty"`
+}
+
+// benchCase is one measurable unit: fn runs a single iteration and
+// returns the simulated cycles it covered (0 if not an engine case).
+type benchCase struct {
+	name string
+	fn   func() (int64, error)
+}
+
+// benchCases builds the suite: one case per registered experiment (fresh
+// environment per iteration, mirroring the repository's testing.B suite)
+// plus the raw engine throughput cases.
+func benchCases(scale float64) ([]benchCase, error) {
+	var cases []benchCase
+	for _, e := range mtvec.Experiments() {
+		exp := e
+		cases = append(cases, benchCase{
+			name: exp.ID,
+			fn: func() (int64, error) {
+				env := mtvec.NewEnv(scale)
+				res, err := exp.Run(env)
+				if err != nil {
+					return 0, err
+				}
+				if len(res.Tables) == 0 {
+					return 0, fmt.Errorf("%s: empty result", exp.ID)
+				}
+				return 0, nil
+			},
+		})
+	}
+
+	var suite []*mtvec.Workload
+	for _, spec := range mtvec.QueueOrder() {
+		w, err := spec.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		suite = append(suite, w)
+	}
+	engine := func(contexts int) func() (int64, error) {
+		return func() (int64, error) {
+			cfg := mtvec.DefaultConfig()
+			cfg.Contexts = contexts
+			rep, err := mtvec.RunQueue(suite, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Cycles, nil
+		}
+	}
+	cases = append(cases,
+		benchCase{name: "engine/reference", fn: engine(1)},
+		benchCase{name: "engine/4threads", fn: engine(4)},
+	)
+
+	// Per-run API overhead, mirroring the testing.B suite: the direct
+	// machine path, a memo-less Session, and the memoized cache hit.
+	solo, err := mtvec.WorkloadByShort("tf").Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, benchCase{
+		name: "machine/direct",
+		fn: func() (int64, error) {
+			m, err := mtvec.NewMachine(mtvec.DefaultConfig())
+			if err != nil {
+				return 0, err
+			}
+			if err := m.SetThreadStream(0, solo.Spec.Short, solo.Stream()); err != nil {
+				return 0, err
+			}
+			rep, err := m.Run(mtvec.Stop{})
+			if err != nil {
+				return 0, err
+			}
+			return rep.Cycles, nil
+		},
+	})
+	plain := mtvec.NewSession(mtvec.WithoutMemo())
+	memo := mtvec.NewSession()
+	ctx := context.Background()
+	sessionCase := func(name string, ses *mtvec.Session, simulates bool) benchCase {
+		return benchCase{
+			name: name,
+			fn: func() (int64, error) {
+				rep, err := ses.Run(ctx, mtvec.Solo(solo))
+				if err != nil {
+					return 0, err
+				}
+				if !simulates {
+					return 0, nil // cache hit: no cycles simulated
+				}
+				return rep.Cycles, nil
+			},
+		}
+	}
+	cases = append(cases,
+		sessionCase("session/run", plain, true),
+		sessionCase("session/memoized", memo, false),
+	)
+	return cases, nil
+}
+
+// measure runs one case for at least benchtime and returns its stats.
+func measure(c benchCase, benchtime time.Duration) (BenchResult, error) {
+	if _, err := c.fn(); err != nil { // warm-up + error check
+		return BenchResult{}, fmt.Errorf("%s: %w", c.name, err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var iters, cycles int64
+	start := time.Now()
+	for iters == 0 || time.Since(start) < benchtime {
+		cy, err := c.fn()
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("%s: %w", c.name, err)
+		}
+		cycles += cy
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	res := BenchResult{
+		Name:        c.name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / iters,
+		AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / iters,
+	}
+	if cycles > 0 {
+		res.McyclesPerS = float64(cycles) / elapsed.Seconds() / 1e6
+	}
+	return res, nil
+}
+
+// runBenchJSON measures the suite and writes the artifact to w.
+func runBenchJSON(w io.Writer, ref string, benchtime time.Duration, count int, progress io.Writer) error {
+	scale, err := mtvec.BenchScale()
+	if err != nil {
+		return err
+	}
+	cases, err := benchCases(scale)
+	if err != nil {
+		return err
+	}
+	if count < 1 {
+		count = 1
+	}
+	file := BenchFile{
+		Schema:      benchSchema,
+		Ref:         ref,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Scale:       scale,
+		BenchtimeMS: benchtime.Milliseconds(),
+		Count:       count,
+	}
+	for _, c := range cases {
+		best := BenchResult{}
+		for s := 0; s < count; s++ {
+			r, err := measure(c, benchtime)
+			if err != nil {
+				return err
+			}
+			if best.Iters == 0 || r.NsPerOp < best.NsPerOp {
+				best = r
+			}
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-18s %12.0f ns/op  %8d allocs/op\n", c.name, best.NsPerOp, best.AllocsPerOp)
+		}
+		file.Benchmarks = append(file.Benchmarks, best)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// CompareFile is the machine-readable output of -bench-compare: the
+// recorded speedup (or regression) of new over old.
+type CompareFile struct {
+	Schema       int     `json:"schema"`
+	BaselineRef  string  `json:"baseline_ref"`
+	NewRef       string  `json:"new_ref"`
+	GeomeanRatio float64 `json:"geomean_ratio"` // new/old ns per op; <1 is faster
+	MaxRegress   float64 `json:"max_regress"`
+
+	Benchmarks []CompareResult `json:"benchmarks"`
+}
+
+// CompareResult is one benchmark's old-vs-new ns/op comparison.
+type CompareResult struct {
+	Name    string  `json:"name"`
+	OldNs   float64 `json:"old_ns_per_op"`
+	NewNs   float64 `json:"new_ns_per_op"`
+	Ratio   float64 `json:"ratio"`   // new/old
+	Speedup float64 `json:"speedup"` // old/new
+}
+
+func loadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: unsupported bench schema %d", path, f.Schema)
+	}
+	return &f, nil
+}
+
+// compareBench diffs two bench files over their common benchmarks and
+// returns the comparison plus an error when the geomean ns/op regression
+// exceeds maxRegress.
+func compareBench(oldPath, newPath string, maxRegress float64) (*CompareFile, error) {
+	oldF, err := loadBenchFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newF, err := loadBenchFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+	oldBy := make(map[string]BenchResult, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	cmp := &CompareFile{
+		Schema:      benchSchema,
+		BaselineRef: oldF.Ref,
+		NewRef:      newF.Ref,
+		MaxRegress:  maxRegress,
+	}
+	var logSum float64
+	for _, nb := range newF.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok || ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+			continue
+		}
+		ratio := nb.NsPerOp / ob.NsPerOp
+		cmp.Benchmarks = append(cmp.Benchmarks, CompareResult{
+			Name: nb.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+			Ratio: ratio, Speedup: 1 / ratio,
+		})
+		logSum += math.Log(ratio)
+	}
+	if len(cmp.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	sort.Slice(cmp.Benchmarks, func(i, j int) bool { return cmp.Benchmarks[i].Name < cmp.Benchmarks[j].Name })
+	cmp.GeomeanRatio = math.Exp(logSum / float64(len(cmp.Benchmarks)))
+	return cmp, nil
+}
+
+// runBenchCompare prints the comparison table and applies the gate.
+func runBenchCompare(w io.Writer, oldPath, newPath, outPath string, maxRegress float64) error {
+	cmp, err := compareBench(oldPath, newPath, maxRegress)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	for _, b := range cmp.Benchmarks {
+		fmt.Fprintf(w, "%-18s %14.0f %14.0f %8.2fx\n", b.Name, b.OldNs, b.NewNs, b.Speedup)
+	}
+	fmt.Fprintf(w, "\ngeomean: %.3fx speedup (ratio %.3f, gate: ratio <= %.3f)\n",
+		1/cmp.GeomeanRatio, cmp.GeomeanRatio, 1+maxRegress)
+	if outPath != "" {
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if cmp.GeomeanRatio > 1+maxRegress {
+		return fmt.Errorf("benchmark regression: geomean ns/op ratio %.3f exceeds gate %.3f (baseline %s)",
+			cmp.GeomeanRatio, 1+maxRegress, oldPath)
+	}
+	return nil
+}

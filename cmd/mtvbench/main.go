@@ -9,6 +9,13 @@
 //	mtvbench -format markdown     # EXPERIMENTS.md-ready output
 //	mtvbench -list                # available experiment ids
 //	mtvbench -catalog             # emit the docs/EXPERIMENTS.md catalog
+//	mtvbench -golden              # byte-exact suite output (docs/GOLDEN.txt)
+//
+// mtvbench is also the repository's perf-artifact harness (see
+// docs/PERF.md and scripts/bench.sh):
+//
+//	mtvbench -bench-json -o BENCH_PR.json          # measure, record
+//	mtvbench -bench-compare BENCH_baseline.json BENCH_PR.json
 package main
 
 import (
@@ -36,6 +43,16 @@ func main() {
 		catalog = flag.Bool("catalog", false, "emit the experiment catalog (docs/EXPERIMENTS.md) and exit")
 		quiet   = flag.Bool("q", false, "suppress progress on stderr")
 		timeout = flag.Duration("timeout", 0, "abort the suite after this long (0 = no limit)")
+
+		golden = flag.Bool("golden", false, "emit the byte-exact full-suite output (docs/GOLDEN.txt) and exit")
+
+		benchJSON    = flag.Bool("bench-json", false, "measure the benchmark suite and emit a BENCH JSON artifact")
+		benchOut     = flag.String("o", "", "output file for -bench-json / -bench-compare (default stdout / none)")
+		benchRef     = flag.String("bench-ref", "local", "ref label recorded in the -bench-json artifact")
+		benchTime    = flag.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per benchmark (-bench-json)")
+		benchCount   = flag.Int("bench-count", 3, "samples per benchmark, fastest wins (-bench-json)")
+		benchCompare = flag.Bool("bench-compare", false, "compare two BENCH JSON files: mtvbench -bench-compare OLD NEW")
+		maxRegress   = flag.Float64("max-regress", 0.10, "fail -bench-compare when geomean ns/op regresses more than this fraction")
 	)
 	flag.Parse()
 
@@ -47,6 +64,47 @@ func main() {
 	}
 	if *catalog {
 		writeCatalog(os.Stdout)
+		return
+	}
+	if *golden {
+		// The golden gate depends on every byte: pin all experiments at
+		// the default scale in deterministic text form, progress off.
+		if err := run(context.Background(), os.Stdout, "all", mtvec.DefaultScale, "text", *jobs, true); err != nil {
+			fmt.Fprintln(os.Stderr, "mtvbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchJSON {
+		out := io.Writer(os.Stdout)
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mtvbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		var progress io.Writer
+		if !*quiet {
+			progress = os.Stderr
+		}
+		if err := runBenchJSON(out, *benchRef, *benchTime, *benchCount, progress); err != nil {
+			fmt.Fprintln(os.Stderr, "mtvbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "mtvbench: -bench-compare needs exactly two files: OLD NEW")
+			os.Exit(2)
+		}
+		if err := runBenchCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *benchOut, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "mtvbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	expID := *exp

@@ -23,6 +23,10 @@ type vregState struct {
 
 	// Active read windows [start, end); a slot is free when end <= now.
 	readEnd [maxReaders]Cycle
+
+	// maxReadEnd caches the maximum of readEnd so the hot activity
+	// checks are a single comparison instead of a slot scan.
+	maxReadEnd Cycle
 }
 
 // maxReaders bounds concurrent readers of one register: FU1, FU2, the
@@ -31,24 +35,14 @@ const maxReaders = 6
 
 func (v *vregState) writerActive(now Cycle) bool { return v.wLast >= now }
 
-func (v *vregState) readersActive(now Cycle) bool {
-	for _, e := range v.readEnd {
-		if e > now {
-			return true
-		}
-	}
-	return false
-}
+func (v *vregState) readersActive(now Cycle) bool { return v.maxReadEnd > now }
 
 // lastReadEnd returns the latest active read window end (or now).
 func (v *vregState) lastReadEnd(now Cycle) Cycle {
-	last := now
-	for _, e := range v.readEnd {
-		if e > last {
-			last = e
-		}
+	if v.maxReadEnd > now {
+		return v.maxReadEnd
 	}
-	return last
+	return now
 }
 
 // addReader records a read window, reusing an expired slot.
@@ -56,6 +50,9 @@ func (v *vregState) addReader(now, end Cycle) bool {
 	for i, e := range v.readEnd {
 		if e <= now {
 			v.readEnd[i] = end
+			if end > v.maxReadEnd {
+				v.maxReadEnd = end
+			}
 			return true
 		}
 	}
@@ -87,70 +84,83 @@ func (b *bankState) prune(now Cycle) {
 	b.writes = keep(b.writes)
 }
 
-// readPortFree reports whether a read port is available for the whole
-// window [s, e), i.e. no instant within it already has 2 active reads.
-// On failure it returns the earliest cycle the conflict could clear.
-func (b *bankState) readPortFree(s, e Cycle) (bool, Cycle) {
-	return portFree(b.reads, s, e, isa.BankReadPorts)
-}
-
-// writePortFree is the analogous single-write-port check.
+// writePortFree reports whether the bank's single write port is free for
+// the whole window [s, e). On failure it returns the earliest cycle the
+// conflict could clear. (The read-port check goes through checkBankReads,
+// which groups sources sharing a bank before calling portFree.)
 func (b *bankState) writePortFree(s, e Cycle) (bool, Cycle) {
 	return portFree(b.writes, s, e, isa.BankWritePorts)
 }
 
 // portFree counts the maximum overlap of existing windows with [s, e) and
 // checks it stays below capacity. Window lists are tiny (a handful of
-// in-flight instructions per context), so the quadratic sweep is cheap.
+// in-flight instructions per context), so the quadratic sweep is cheap —
+// and allocation-free: maximum overlap is attained at s or at some
+// overlapping window's start, so each candidate point is evaluated with a
+// rescan instead of materializing the overlap set.
 func portFree(ws []portWindow, s, e Cycle, capacity int) (bool, Cycle) {
-	var overlapping []portWindow
+	if len(ws) < capacity {
+		return true, 0 // fewer windows than ports: no conflict possible
+	}
+	overlapping := 0
+	minEnd := Cycle(1<<62 - 1)
 	for _, w := range ws {
 		if w.S < e && w.E > s {
-			overlapping = append(overlapping, w)
-		}
-	}
-	if len(overlapping) < capacity {
-		return true, 0
-	}
-	// Count concurrency at each overlapping window's start (maximum
-	// overlap is attained at some window start or at s).
-	minEnd := Cycle(1<<62 - 1)
-	points := make([]Cycle, 0, len(overlapping)+1)
-	points = append(points, s)
-	for _, w := range overlapping {
-		if w.S > s {
-			points = append(points, w.S)
-		}
-		if w.E < minEnd {
-			minEnd = w.E
-		}
-	}
-	for _, p := range points {
-		n := 0
-		for _, w := range overlapping {
-			if w.S <= p && p < w.E {
-				n++
+			overlapping++
+			if w.E < minEnd {
+				minEnd = w.E
 			}
 		}
-		if n >= capacity {
-			return false, minEnd
+	}
+	if overlapping < capacity {
+		return true, 0
+	}
+	// Count concurrency at each candidate point: s itself and every
+	// overlapping window's start within (s, e).
+	if countAt(ws, s, e, s) >= capacity {
+		return false, minEnd
+	}
+	for _, w := range ws {
+		if w.S > s && w.S < e && w.E > s {
+			if countAt(ws, s, e, w.S) >= capacity {
+				return false, minEnd
+			}
 		}
 	}
 	return true, 0
 }
 
+// countAt returns how many windows overlapping [s, e) contain point p.
+func countAt(ws []portWindow, s, e, p Cycle) int {
+	n := 0
+	for _, w := range ws {
+		if w.S < e && w.E > s && w.S <= p && p < w.E {
+			n++
+		}
+	}
+	return n
+}
+
+// numRegClasses covers isa.ClassNone..isa.ClassImm as scoreboard rows.
+const numRegClasses = int(isa.ClassImm) + 1
+
+// The flat scoreboard assumes the A and S register files are the same
+// size; rows are sized by isa.NumA.
+var _ [isa.NumA]struct{} = [isa.NumS]struct{}{}
+
 // jobSource supplies a context's successive program runs.
 type jobSource func() (*prog.Stream, string, bool)
 
-// newContext builds an idle context: no register has an in-flight writer
-// (wLast = -1 marks the writer inactive from cycle 0 on).
-func newContext(id int) *hwContext {
-	c := &hwContext{id: id}
+// init resets a context to idle: no register has an in-flight writer
+// (wLast = -1 marks the writer inactive from cycle 0 on) and no dispatch
+// probe is memoized.
+func (c *hwContext) init(id int) {
+	c.id = id
 	for i := range c.vregs {
 		c.vregs[i].wFirst = -1
 		c.vregs[i].wLast = -1
 	}
-	return c
+	c.probeCyc = -1
 }
 
 // context is one hardware context: its registers, its instruction stream
@@ -158,18 +168,35 @@ func newContext(id int) *hwContext {
 type hwContext struct {
 	id int
 
-	// Architectural state timing.
-	aReady [isa.NumA]Cycle
-	sReady [isa.NumS]Cycle
+	// Architectural state timing. The scalar scoreboard is indexed by
+	// operand class then register, so the ready check is unconditional
+	// array math: rows ClassA and ClassS carry the A/S scoreboards, the
+	// rows for ClassNone, ClassV and ClassImm are never written and read
+	// as always-ready — exactly the branchy per-class semantics, minus
+	// the branches.
+	scoreb [numRegClasses][isa.NumA]Cycle
 	vregs  [isa.NumV]vregState
 	banks  [isa.NumVBanks]bankState
 
-	// Instruction supply.
+	// Instruction supply. head points at the stream's current decoded
+	// instruction — shared immutable predecode entries for cached
+	// replays, a stream-owned buffer otherwise — valid while headValid
+	// and never written by the machine.
 	stream    *prog.Stream
 	next      jobSource
-	head      isa.DynInst
+	head      *prog.DecodedInst
 	headValid bool
 	exhausted bool
+
+	// Within-cycle dispatch memo (see Machine.tryDispatch): the result
+	// of checking this context's head at probeCyc with machine booking
+	// sequence probeSeq. Valid only while both match — any booking
+	// anywhere invalidates it — so a memoized answer is exactly what
+	// recomputation would return.
+	probeCyc  Cycle
+	probeSeq  uint64
+	probeOK   bool
+	probeHint Cycle
 
 	// Accounting.
 	program     string
@@ -182,14 +209,23 @@ type hwContext struct {
 
 // refill fetches the next head instruction, pulling a new job when the
 // current stream ends. It reports whether the context has work.
+// Exhaustion is permanent: per the JobSource contract, ok=false means the
+// context has no further work, so an exhausted context is never probed
+// again.
 func (c *hwContext) refill(m *Machine) bool {
 	if c.headValid {
 		return true
 	}
+	if c.exhausted {
+		return false
+	}
 	for {
-		if c.stream != nil && c.stream.Next(&c.head) {
-			c.headValid = true
-			return true
+		if c.stream != nil {
+			if d := c.stream.NextDec(); d != nil {
+				c.head = d
+				c.headValid = true
+				return true
+			}
 		}
 		if c.stream != nil {
 			// Stream ended: account a completion and close the span.
@@ -201,18 +237,26 @@ func (c *hwContext) refill(m *Machine) bool {
 			c.stream = nil
 		}
 		if c.next == nil {
-			c.exhausted = true
+			c.markExhausted(m)
 			return false
 		}
 		s, name, ok := c.next()
 		if !ok {
-			c.exhausted = true
+			c.markExhausted(m)
 			return false
 		}
 		c.stream = s
 		c.program = name
 		c.spanStart = m.now
 		c.spanOpen = true
+	}
+}
+
+// markExhausted records that the context has drained its job source.
+func (c *hwContext) markExhausted(m *Machine) {
+	if !c.exhausted {
+		c.exhausted = true
+		m.exhaustedCtxs++
 	}
 }
 
@@ -243,12 +287,12 @@ func (c *hwContext) quiesce(now Cycle) Cycle {
 			q = e
 		}
 	}
-	for _, r := range c.aReady {
+	for _, r := range c.scoreb[isa.ClassA] {
 		if r > q {
 			q = r
 		}
 	}
-	for _, r := range c.sReady {
+	for _, r := range c.scoreb[isa.ClassS] {
 		if r > q {
 			q = r
 		}

@@ -10,48 +10,127 @@ import (
 // blocked" test and the skip-ahead estimator use this). On failure it
 // returns a sound lower bound on the cycle the dispatch could first
 // succeed, used to fast-forward when every thread is blocked.
+//
+// Results are memoized per context for the current (cycle, bookSeq)
+// pair: within one cycle the machine probes the same head several times —
+// the policy's switch scan, the committed attempt, the skip-ahead
+// estimator — against unchanged state, so the memo answer is exactly what
+// recomputation would return. Any booking anywhere bumps bookSeq and
+// invalidates every memo, so a stale answer is never reused.
+//
+// The three execution paths cover the three dispatch situations:
+//   - probe (commit=false): run the checks once, memoize the outcome;
+//   - commit after a successful same-cycle probe (memo hit): book via
+//     apply without re-running the checks;
+//   - commit with no prior probe (the steady run-until-block state):
+//     fused single-pass check+book, walking the constraints once.
 func (m *Machine) tryDispatch(c *hwContext, commit bool) (bool, Cycle) {
-	d := &c.head
-	info := isa.InfoOf(d.Op)
-	switch info.Kind {
-	case isa.KindScalar, isa.KindBranch, isa.KindVLVS:
-		return m.dispatchScalar(c, d, commit)
-	case isa.KindScalarMem:
-		return m.dispatchScalarMem(c, d, info, commit)
-	case isa.KindVector:
-		return m.dispatchVectorArith(c, d, commit)
-	case isa.KindVectorMem:
-		return m.dispatchVectorMem(c, d, info, commit)
+	if c.probeCyc == m.now && c.probeSeq == m.bookSeq {
+		if !c.probeOK {
+			return false, c.probeHint
+		}
+		if commit {
+			m.applyDispatch(c)
+		}
+		return true, 0
 	}
-	return false, m.now + 1
+	if commit {
+		ok, hint := m.commitDispatch(c)
+		if !ok {
+			// A failed commit attempt books nothing, so the outcome is
+			// memoizable exactly like a probe.
+			c.probeCyc, c.probeSeq = m.now, m.bookSeq
+			c.probeOK, c.probeHint = false, hint
+		}
+		return ok, hint
+	}
+	ok, hint := m.checkDispatch(c)
+	c.probeCyc, c.probeSeq = m.now, m.bookSeq
+	c.probeOK, c.probeHint = ok, hint
+	return ok, hint
 }
 
-// scalarReady checks an A/S operand's scoreboard entry.
-func (c *hwContext) scalarReady(o isa.Operand, now Cycle) (bool, Cycle) {
-	switch o.Class {
-	case isa.ClassA:
-		if r := c.aReady[o.Reg]; r > now {
-			return false, r
+// commitDispatch is the fused single-pass dispatch: identical checks in
+// identical order to checkDispatch, booking resources on success.
+func (m *Machine) commitDispatch(c *hwContext) (bool, Cycle) {
+	switch c.head.Kind {
+	case isa.KindScalar, isa.KindBranch, isa.KindVLVS:
+		if ok, hint := m.checkScalar(c); !ok {
+			return false, hint
 		}
-	case isa.ClassS:
-		if r := c.sReady[o.Reg]; r > now {
-			return false, r
+		m.applyScalar(c)
+	case isa.KindScalarMem:
+		if ok, hint := m.checkScalarMem(c); !ok {
+			return false, hint
 		}
+		m.applyScalarMem(c)
+	case isa.KindVector:
+		return m.commitVectorArith(c)
+	case isa.KindVectorMem:
+		return m.commitVectorMem(c)
+	default:
+		return false, m.now + 1
 	}
 	return true, 0
 }
 
-// setScalarReady books a result into the scalar scoreboard.
-func (c *hwContext) setScalarReady(o isa.Operand, at Cycle) {
-	switch o.Class {
-	case isa.ClassA:
-		c.aReady[o.Reg] = at
-	case isa.ClassS:
-		c.sReady[o.Reg] = at
+// checkDispatch verifies every dispatch constraint of c's head without
+// booking anything. Constraints are evaluated in the same order the
+// original single-pass dispatcher used, so the failure hint (first
+// failing constraint's clear cycle) is bit-identical.
+func (m *Machine) checkDispatch(c *hwContext) (bool, Cycle) {
+	switch c.head.Kind {
+	case isa.KindScalar, isa.KindBranch, isa.KindVLVS:
+		return m.checkScalar(c)
+	case isa.KindScalarMem:
+		return m.checkScalarMem(c)
+	case isa.KindVector:
+		return m.checkVectorArith(c)
+	case isa.KindVectorMem:
+		return m.checkVectorMem(c)
+	}
+	return false, m.now + 1
+}
+
+// applyDispatch books the resources of a dispatch whose checks passed
+// this cycle. State is unchanged since the check (guarded by bookSeq), so
+// the cheap schedule arithmetic recomputed here reproduces the check's
+// values exactly; only the expensive constraint scans are skipped.
+func (m *Machine) applyDispatch(c *hwContext) {
+	switch c.head.Kind {
+	case isa.KindScalar, isa.KindBranch, isa.KindVLVS:
+		m.applyScalar(c)
+	case isa.KindScalarMem:
+		m.applyScalarMem(c)
+	case isa.KindVector:
+		m.applyVectorArith(c)
+	case isa.KindVectorMem:
+		m.applyVectorMem(c)
 	}
 }
 
-func (m *Machine) dispatchScalar(c *hwContext, d *isa.DynInst, commit bool) (bool, Cycle) {
+// scalarReady checks an A/S operand's scoreboard entry. The flat
+// class-indexed scoreboard makes this branch-free for the other operand
+// classes: their rows are never written, so they always read as ready.
+func (c *hwContext) scalarReady(o isa.Operand, now Cycle) (bool, Cycle) {
+	if r := c.scoreb[o.Class][o.Reg]; r > now {
+		return false, r
+	}
+	return true, 0
+}
+
+// setScalarReady books a result into the scalar scoreboard. The class
+// switch is kept on the write side so only the A and S rows are ever
+// dirtied (a vector or immediate destination must not poison its row).
+func (c *hwContext) setScalarReady(o isa.Operand, at Cycle) {
+	switch o.Class {
+	case isa.ClassA, isa.ClassS:
+		c.scoreb[o.Class][o.Reg] = at
+	}
+}
+
+func (m *Machine) checkScalar(c *hwContext) (bool, Cycle) {
+	d := c.head
 	now := m.now
 	if ok, r := c.scalarReady(d.Src1, now); !ok {
 		return false, r
@@ -62,16 +141,18 @@ func (m *Machine) dispatchScalar(c *hwContext, d *isa.DynInst, commit bool) (boo
 	if ok, r := c.scalarReady(d.Dst, now); !ok { // WAW on a pending result
 		return false, r
 	}
-	if !commit {
-		return true, 0
-	}
-	if d.Dst.IsReg() {
-		c.setScalarReady(d.Dst, now+Cycle(m.lat.Scalar(d.Op)))
-	}
 	return true, 0
 }
 
-func (m *Machine) dispatchScalarMem(c *hwContext, d *isa.DynInst, info isa.Info, commit bool) (bool, Cycle) {
+func (m *Machine) applyScalar(c *hwContext) {
+	d := c.head
+	if d.Dst.IsReg() {
+		c.setScalarReady(d.Dst, m.now+m.scalarLat[d.Op])
+	}
+}
+
+func (m *Machine) checkScalarMem(c *hwContext) (bool, Cycle) {
+	d := c.head
 	now := m.now
 	if ok, r := c.scalarReady(d.Src1, now); !ok {
 		return false, r
@@ -82,17 +163,19 @@ func (m *Machine) dispatchScalarMem(c *hwContext, d *isa.DynInst, info isa.Info,
 	if ok, r := c.scalarReady(d.Dst, now); !ok {
 		return false, r
 	}
-	if pf := m.mem.PortFreeAt(info.Load); pf > now {
+	if pf := m.mem.PortFreeAt(c.head.Load); pf > now {
 		return false, pf
 	}
-	if !commit {
-		return true, 0
-	}
-	_, data := m.mem.ScheduleScalar(now, info.Load)
-	if info.Load && d.Dst.IsReg() {
+	return true, 0
+}
+
+func (m *Machine) applyScalarMem(c *hwContext) {
+	d := c.head
+	load := c.head.Load
+	_, data := m.mem.ScheduleScalar(m.now, load)
+	if load && d.Dst.IsReg() {
 		c.setScalarReady(d.Dst, data)
 	}
-	return true, 0
 }
 
 // chainReady reports whether vector register r can start being read at
@@ -130,6 +213,9 @@ func destFree(v *vregState, now Cycle) (bool, Cycle) {
 // checkBankReads verifies read-port capacity for the given source
 // registers over [s, e), counting sources that share a bank together.
 func (c *hwContext) checkBankReads(srcs []uint8, s, e Cycle) (bool, Cycle) {
+	if len(srcs) == 0 {
+		return true, 0
+	}
 	var perBank [isa.NumVBanks]int
 	for _, r := range srcs {
 		perBank[isa.VBank(r)]++
@@ -162,31 +248,38 @@ func (c *hwContext) commitReads(srcs []uint8, s, e Cycle, now Cycle) {
 	}
 }
 
-func (m *Machine) dispatchVectorArith(c *hwContext, d *isa.DynInst, commit bool) (bool, Cycle) {
+// pickVectorFU selects the functional unit for c's head vector arithmetic
+// op: FU1 when allowed and free, else FU2. On failure it returns the
+// earliest retry cycle.
+func (m *Machine) pickVectorFU(c *hwContext) (fu *fuState, unit int, retry Cycle) {
+	now := m.now
+	if !c.head.FU1OK { // mul/div/sqrt run on FU2 only (Section 3)
+		if m.fu2.freeAt > now {
+			return nil, 0, m.fu2.freeAt
+		}
+		return &m.fu2, stats.UnitFU2, 0
+	}
+	switch {
+	case m.fu1.freeAt <= now:
+		return &m.fu1, stats.UnitFU1, 0
+	case m.fu2.freeAt <= now:
+		return &m.fu2, stats.UnitFU2, 0
+	default:
+		retry = m.fu1.freeAt
+		if m.fu2.freeAt < retry {
+			retry = m.fu2.freeAt
+		}
+		return nil, 0, retry
+	}
+}
+
+func (m *Machine) checkVectorArith(c *hwContext) (bool, Cycle) {
+	d := c.head
 	now := m.now
 	vl := Cycle(d.VL)
 
-	// Functional unit selection: FU1 when allowed and free, else FU2.
-	var fu *fuState
-	var unit int
-	if d.Op.FU2Only() {
-		if m.fu2.freeAt > now {
-			return false, m.fu2.freeAt
-		}
-		fu, unit = &m.fu2, stats.UnitFU2
-	} else {
-		switch {
-		case m.fu1.freeAt <= now:
-			fu, unit = &m.fu1, stats.UnitFU1
-		case m.fu2.freeAt <= now:
-			fu, unit = &m.fu2, stats.UnitFU2
-		default:
-			retry := m.fu1.freeAt
-			if m.fu2.freeAt < retry {
-				retry = m.fu2.freeAt
-			}
-			return false, retry
-		}
+	if fu, _, retry := m.pickVectorFU(c); fu == nil {
+		return false, retry
 	}
 
 	// Scalar operand (vector-scalar forms) must be ready at dispatch.
@@ -197,9 +290,7 @@ func (m *Machine) dispatchVectorArith(c *hwContext, d *isa.DynInst, commit bool)
 	}
 
 	// Vector sources: chaining constraints.
-	var srcBuf [2]uint8
-	n := d.Inst.VSources(&srcBuf)
-	srcs := srcBuf[:n]
+	srcs := c.head.VSrcs[:c.head.NVSrc]
 	for _, r := range srcs {
 		if ok, retry := chainReady(&c.vregs[r], now); !ok {
 			return false, retry
@@ -209,21 +300,18 @@ func (m *Machine) dispatchVectorArith(c *hwContext, d *isa.DynInst, commit bool)
 
 	// Destination.
 	redDest := d.Dst.Class == isa.ClassS // reduction writes an S register
-	var dv *vregState
 	if redDest {
 		if ok, r := c.scalarReady(d.Dst, now); !ok {
 			return false, r
 		}
 	} else {
-		dv = &c.vregs[d.Dst.Reg]
-		if ok, retry := destFree(dv, now); !ok {
+		if ok, retry := destFree(&c.vregs[d.Dst.Reg], now); !ok {
 			return false, retry
 		}
 	}
 
-	depth := Cycle(m.lat.VectorStartup + m.lat.ReadXbar + m.lat.VectorFU(d.Op) + m.lat.WriteXbar)
 	readEnd := s + vl
-	fw := s + depth
+	fw := s + m.vecDepth[d.Op]
 	lw := fw + vl - 1
 
 	// Register-bank ports.
@@ -236,9 +324,61 @@ func (m *Machine) dispatchVectorArith(c *hwContext, d *isa.DynInst, commit bool)
 			return false, retry
 		}
 	}
+	return true, 0
+}
 
-	if !commit {
-		return true, 0
+// commitVectorArith is the fused form of checkVectorArith followed by
+// applyVectorArith: one constraint walk, booking on success with the
+// values already in hand.
+func (m *Machine) commitVectorArith(c *hwContext) (bool, Cycle) {
+	d := c.head
+	now := m.now
+	vl := Cycle(d.VL)
+
+	fu, unit, retry := m.pickVectorFU(c)
+	if fu == nil {
+		return false, retry
+	}
+
+	if d.Src2.Class == isa.ClassS {
+		if ok, r := c.scalarReady(d.Src2, now); !ok {
+			return false, r
+		}
+	}
+
+	srcs := c.head.VSrcs[:c.head.NVSrc]
+	for _, r := range srcs {
+		if ok, retry := chainReady(&c.vregs[r], now); !ok {
+			return false, retry
+		}
+	}
+	s := now
+
+	redDest := d.Dst.Class == isa.ClassS
+	var dv *vregState
+	if redDest {
+		if ok, r := c.scalarReady(d.Dst, now); !ok {
+			return false, r
+		}
+	} else {
+		dv = &c.vregs[d.Dst.Reg]
+		if ok, retry := destFree(dv, now); !ok {
+			return false, retry
+		}
+	}
+
+	readEnd := s + vl
+	fw := s + m.vecDepth[d.Op]
+	lw := fw + vl - 1
+
+	if ok, retry := c.checkBankReads(srcs, s, readEnd); !ok {
+		return false, retry
+	}
+	if !redDest {
+		ok, retry := c.banks[isa.VBank(d.Dst.Reg)].writePortFree(fw, lw+1)
+		if !ok {
+			return false, retry
+		}
 	}
 
 	fu.freeAt = s + vl
@@ -257,7 +397,11 @@ func (m *Machine) dispatchVectorArith(c *hwContext, d *isa.DynInst, commit bool)
 	return true, 0
 }
 
-func (m *Machine) dispatchVectorMem(c *hwContext, d *isa.DynInst, info isa.Info, commit bool) (bool, Cycle) {
+// commitVectorMem is the fused form of checkVectorMem followed by
+// applyVectorMem.
+func (m *Machine) commitVectorMem(c *hwContext) (bool, Cycle) {
+	d := c.head
+	info := c.head
 	now := m.now
 	vl := int(d.VL)
 
@@ -268,7 +412,6 @@ func (m *Machine) dispatchVectorMem(c *hwContext, d *isa.DynInst, info isa.Info,
 		return false, pf
 	}
 
-	// Base-address register (loads/stores carry it; structural read).
 	for _, o := range [...]isa.Operand{d.Src1, d.Src2} {
 		if o.Class == isa.ClassA {
 			if ok, r := c.scalarReady(o, now); !ok {
@@ -277,10 +420,7 @@ func (m *Machine) dispatchVectorMem(c *hwContext, d *isa.DynInst, info isa.Info,
 		}
 	}
 
-	// Vector sources: store data and gather/scatter index registers.
-	var srcBuf [2]uint8
-	n := d.Inst.VSources(&srcBuf)
-	srcs := srcBuf[:n]
+	srcs := c.head.VSrcs[:c.head.NVSrc]
 	for _, r := range srcs {
 		if ok, retry := chainReady(&c.vregs[r], now); !ok {
 			return false, retry
@@ -314,10 +454,6 @@ func (m *Machine) dispatchVectorMem(c *hwContext, d *isa.DynInst, info isa.Info,
 		}
 	}
 
-	if !commit {
-		return true, 0
-	}
-
 	m.mem.ScheduleVector(s, vl, d.Stride, info.Load)
 	m.ld.freeAt = start + busyFor
 	m.tl.AddBusy(stats.UnitLD, start, start+busyFor)
@@ -330,4 +466,114 @@ func (m *Machine) dispatchVectorMem(c *hwContext, d *isa.DynInst, info isa.Info,
 	}
 	m.vectorOps += int64(vl)
 	return true, 0
+}
+
+func (m *Machine) applyVectorArith(c *hwContext) {
+	d := c.head
+	now := m.now
+	vl := Cycle(d.VL)
+	fu, unit, _ := m.pickVectorFU(c)
+
+	s := now
+	readEnd := s + vl
+	fw := s + m.vecDepth[d.Op]
+	lw := fw + vl - 1
+	redDest := d.Dst.Class == isa.ClassS
+	srcs := c.head.VSrcs[:c.head.NVSrc]
+
+	fu.freeAt = s + vl
+	m.tl.AddBusy(unit, s, s+vl)
+	c.commitReads(srcs, s, readEnd, now)
+	if redDest {
+		c.setScalarReady(d.Dst, lw+1)
+	} else {
+		dv := &c.vregs[d.Dst.Reg]
+		dv.wFirst, dv.wLast, dv.chainable = fw, lw, true
+		bank := &c.banks[isa.VBank(d.Dst.Reg)]
+		bank.prune(now)
+		bank.writes = append(bank.writes, portWindow{fw, lw + 1})
+	}
+	m.vectorArithOps += int64(vl)
+	m.vectorOps += int64(vl)
+}
+
+func (m *Machine) checkVectorMem(c *hwContext) (bool, Cycle) {
+	d := c.head
+	info := c.head
+	now := m.now
+	vl := int(d.VL)
+
+	if m.ld.freeAt > now {
+		return false, m.ld.freeAt
+	}
+	if pf := m.mem.PortFreeAt(info.Load); pf > now {
+		return false, pf
+	}
+
+	// Base-address register (loads/stores carry it; structural read).
+	for _, o := range [...]isa.Operand{d.Src1, d.Src2} {
+		if o.Class == isa.ClassA {
+			if ok, r := c.scalarReady(o, now); !ok {
+				return false, r
+			}
+		}
+	}
+
+	// Vector sources: store data and gather/scatter index registers.
+	srcs := c.head.VSrcs[:c.head.NVSrc]
+	for _, r := range srcs {
+		if ok, retry := chainReady(&c.vregs[r], now); !ok {
+			return false, retry
+		}
+	}
+	s := now
+
+	if info.Load {
+		if ok, retry := destFree(&c.vregs[d.Dst.Reg], now); !ok {
+			return false, retry
+		}
+	}
+
+	start, firstData, busyFor := m.mem.ProbeVector(s, vl, d.Stride, info.Load)
+	readEnd := start + busyFor
+	var fw, lw Cycle
+	if info.Load {
+		fw = firstData + Cycle(m.lat.VectorStartup+m.lat.WriteXbar)
+		lw = fw + busyFor - 1
+	}
+
+	if ok, retry := c.checkBankReads(srcs, start, readEnd); !ok {
+		return false, retry
+	}
+	if info.Load {
+		ok, retry := c.banks[isa.VBank(d.Dst.Reg)].writePortFree(fw, lw+1)
+		if !ok {
+			return false, retry
+		}
+	}
+	return true, 0
+}
+
+func (m *Machine) applyVectorMem(c *hwContext) {
+	d := c.head
+	info := c.head
+	now := m.now
+	vl := int(d.VL)
+	srcs := c.head.VSrcs[:c.head.NVSrc]
+
+	start, firstData, busyFor := m.mem.ScheduleVector(now, vl, d.Stride, info.Load)
+	readEnd := start + busyFor
+	m.ld.freeAt = start + busyFor
+	m.tl.AddBusy(stats.UnitLD, start, start+busyFor)
+	c.commitReads(srcs, start, readEnd, now)
+	if info.Load {
+		fw := firstData + Cycle(m.lat.VectorStartup+m.lat.WriteXbar)
+		lw := fw + busyFor - 1
+		dv := &c.vregs[d.Dst.Reg]
+		dv.wFirst, dv.wLast, dv.chainable = fw, lw, false
+		bank := &c.banks[isa.VBank(d.Dst.Reg)]
+		bank.prune(now)
+		bank.writes = append(bank.writes, portWindow{fw, lw + 1})
+	}
+	m.vectorOps += int64(vl)
 }

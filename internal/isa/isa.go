@@ -273,6 +273,30 @@ func InfoOf(op Op) Info {
 	return opInfos[op]
 }
 
+// unknownInfo is what InfoPtr returns for out-of-range opcodes. The Name
+// is generic (no embedded number) so the shared pointer stays allocation-
+// free; decoding paths validate opcodes before ever hitting it.
+var unknownInfo = Info{Name: "op(?)"}
+
+// InfoPtr returns a pointer to the static properties of op. It is the
+// allocation- and copy-free variant of InfoOf for hot decode paths: the
+// returned Info is shared and must not be mutated.
+func InfoPtr(op Op) *Info {
+	if op >= NumOps {
+		return &unknownInfo
+	}
+	return &opInfos[op]
+}
+
+// KindOf returns the dispatch kind of op — a single table load, for hot
+// paths that only need the coarse classification.
+func KindOf(op Op) Kind {
+	if op >= NumOps {
+		return KindScalar
+	}
+	return opInfos[op].Kind
+}
+
 func (op Op) String() string { return InfoOf(op).Name }
 
 // IsVector reports whether op executes in the vector unit (FU1/FU2/LD).

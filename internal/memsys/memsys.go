@@ -83,6 +83,16 @@ type System struct {
 	// ordered: general, load-only, store-only.
 	portFree []Cycle
 
+	// single short-circuits port selection for the paper's machine (one
+	// general port, no dedicated ports) — the overwhelmingly common
+	// configuration on the dispatch hot path.
+	single bool
+	// noBanks caches cfg.Banks == 0 (the paper's conflict-free memory).
+	noBanks bool
+	// lat / scalarLat are the widened latencies, resolved once.
+	lat       int64
+	scalarLat int64
+
 	busy         int64 // address-port busy cycles (occupation numerator)
 	requests     int64 // memory requests sent
 	loadElems    int64
@@ -97,7 +107,18 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	n := cfg.GeneralPorts + cfg.LoadPorts + cfg.StorePorts
-	return &System{cfg: cfg, portFree: make([]Cycle, n)}, nil
+	s := &System{
+		cfg:      cfg,
+		portFree: make([]Cycle, n),
+		single:   n == 1 && cfg.GeneralPorts == 1,
+		noBanks:  cfg.Banks == 0,
+		lat:      int64(cfg.Latency),
+	}
+	s.scalarLat = s.lat
+	if cfg.ScalarLatency > 0 {
+		s.scalarLat = int64(cfg.ScalarLatency)
+	}
+	return s, nil
 }
 
 // Config returns the system's configuration.
@@ -120,6 +141,9 @@ func (s *System) eligible(i int, load bool) bool {
 
 // pickPort returns the eligible port that frees earliest.
 func (s *System) pickPort(load bool) int {
+	if s.single {
+		return 0
+	}
 	best := -1
 	for i := range s.portFree {
 		if !s.eligible(i, load) {
@@ -136,6 +160,9 @@ func (s *System) pickPort(load bool) int {
 // kind accepts a new transaction (dispatch logic uses it to decide
 // whether a thread blocks).
 func (s *System) PortFreeAt(load bool) Cycle {
+	if s.single {
+		return s.portFree[0]
+	}
 	return s.portFree[s.pickPort(load)]
 }
 
@@ -144,7 +171,7 @@ func (s *System) PortFreeAt(load bool) Cycle {
 // within the bank busy time. Gathers (stride 0 by convention here) are
 // assumed spread well enough to run at full rate.
 func (s *System) conflictFactor(strideBytes int64) int64 {
-	if s.cfg.Banks == 0 {
+	if s.noBanks {
 		return 1
 	}
 	se := strideBytes / 8
@@ -177,7 +204,7 @@ func (s *System) ProbeVector(earliest Cycle, n int, strideBytes int64, load bool
 	start = max64(earliest, s.portFree[p])
 	busyFor = int64(n) * s.conflictFactor(strideBytes)
 	if load {
-		firstData = start + int64(s.cfg.Latency)
+		firstData = start + s.lat
 	}
 	return start, firstData, busyFor
 }
@@ -196,19 +223,11 @@ func (s *System) ScheduleVector(earliest Cycle, n int, strideBytes int64, load b
 	s.requests += int64(n)
 	if load {
 		s.loadElems += int64(n)
-		firstData = start + int64(s.cfg.Latency)
+		firstData = start + s.lat
 	} else {
 		s.storeElems += int64(n)
 	}
 	return start, firstData, busyFor
-}
-
-// scalarLatency resolves the scalar completion time.
-func (s *System) scalarLatency() int64 {
-	if s.cfg.ScalarLatency > 0 {
-		return int64(s.cfg.ScalarLatency)
-	}
-	return int64(s.cfg.Latency)
 }
 
 // ScheduleScalar books one request; for loads, data returns at
@@ -221,7 +240,7 @@ func (s *System) ScheduleScalar(earliest Cycle, load bool) (start, data Cycle) {
 	s.requests++
 	if load {
 		s.scalarLoads++
-		data = start + s.scalarLatency()
+		data = start + s.scalarLat
 	} else {
 		s.scalarStores++
 	}

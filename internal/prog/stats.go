@@ -23,7 +23,7 @@ type Stats struct {
 // Add accounts one dynamic instruction.
 func (st *Stats) Add(d *isa.DynInst) {
 	st.PerOp[d.Op]++
-	info := isa.InfoOf(d.Op)
+	info := isa.InfoPtr(d.Op)
 	switch info.Kind {
 	case isa.KindVector:
 		st.VectorInsts++

@@ -3,6 +3,7 @@ package session
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"mtvec/internal/core"
@@ -423,26 +424,75 @@ func (s RunSpec) prepare() (plan, error) {
 // cached key: two specs share a simulation only when they share the
 // built artifacts — exactly the invariant the experiment Env maintains.
 func (s RunSpec) memoKey(p *plan, idOf func(any) uint64) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "mode=%d|ws=", s.mode)
+	// Hand-rolled encoding: the key is computed once per memoized Run
+	// and the reflective fmt path dominated the cache-hit profile. Any
+	// injective encoding works — the cache is in-memory only.
+	b := make([]byte, 0, 256)
+	num := func(v int64) {
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, ',')
+	}
+	b = append(b, "mode="...)
+	num(int64(s.mode))
+	b = append(b, "|ws="...)
 	for _, w := range s.workloads {
-		fmt.Fprintf(&sb, "%d,", idOf(w))
+		num(int64(idOf(w)))
 	}
 	if s.compiled != nil {
-		fmt.Fprintf(&sb, "|compiled=%d|sched=", idOf(s.compiled))
+		b = append(b, "|compiled="...)
+		num(int64(idOf(s.compiled)))
+		b = append(b, "|sched="...)
 		for _, inv := range s.schedule {
-			fmt.Fprintf(&sb, "%d:%d,", inv.Unit, inv.N)
+			num(int64(inv.Unit))
+			b = append(b, ':')
+			num(inv.N)
 		}
 	}
-	policy := "default"
+	b = append(b, "|policy="...)
 	switch {
 	case p.policyName != "":
-		policy = "name:" + p.policyName
+		b = append(b, "name:"...)
+		b = append(b, p.policyName...)
 	case p.policyInst != nil:
-		policy = fmt.Sprintf("inst:%d", idOf(p.policyInst))
+		b = append(b, "inst:"...)
+		num(int64(idOf(p.policyInst)))
+	default:
+		b = append(b, "default"...)
 	}
-	fmt.Fprintf(&sb, "|ctx=%d|lat=%+v|mem=%+v|policy=%s|dual=%t|iw=%d|spans=%t|noff=%t|stop=%+v",
-		p.cfg.Contexts, p.cfg.Lat, p.cfg.Mem, policy, p.cfg.DualScalar,
-		p.cfg.IssueWidth, p.cfg.RecordSpans, p.cfg.DisableFastForward, p.stop)
-	return sb.String()
+	b = append(b, "|ctx="...)
+	num(int64(p.cfg.Contexts))
+	b = append(b, "|lat="...)
+	lat := &p.cfg.Lat
+	for _, tab := range [][]int{lat.ScalarInt[:], lat.ScalarFP[:], lat.Vector[:]} {
+		for _, v := range tab {
+			num(int64(v))
+		}
+		b = append(b, ';')
+	}
+	num(int64(lat.VectorStartup))
+	num(int64(lat.ReadXbar))
+	num(int64(lat.WriteXbar))
+	b = append(b, "|mem="...)
+	mem := &p.cfg.Mem
+	num(int64(mem.Latency))
+	num(int64(mem.ScalarLatency))
+	num(int64(mem.GeneralPorts))
+	num(int64(mem.LoadPorts))
+	num(int64(mem.StorePorts))
+	num(int64(mem.Banks))
+	num(int64(mem.BankBusy))
+	b = append(b, "|flags="...)
+	for _, f := range [...]bool{p.cfg.DualScalar, p.cfg.RecordSpans, p.cfg.DisableFastForward, p.stop.Thread0Complete} {
+		if f {
+			b = append(b, 't')
+		} else {
+			b = append(b, 'f')
+		}
+	}
+	b = append(b, "|iw="...)
+	num(int64(p.cfg.IssueWidth))
+	b = append(b, "|stop="...)
+	num(p.stop.MaxThread0Insts)
+	num(p.stop.MaxCycles)
+	return string(b)
 }

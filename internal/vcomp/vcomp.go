@@ -148,15 +148,63 @@ func (c *Compiled) AppendTrace(tr *trace.Trace, inv Invocation) error {
 	return nil
 }
 
-// Trace builds a complete trace for the schedule.
+// Trace builds a complete trace for the schedule. The stream lengths are
+// computed exactly up front so the emission loop never reallocates.
 func (c *Compiled) Trace(schedule []Invocation) (*trace.Trace, error) {
-	tr := &trace.Trace{Prog: c.Prog}
+	var bbs, vls, strides, addrs int64
+	for _, inv := range schedule {
+		if inv.Unit < 0 || inv.Unit >= len(c.units) || inv.N <= 0 {
+			continue // AppendTrace reports invalid invocations below
+		}
+		b, v, s, a := sizeInvocation(c.units[inv.Unit], inv.N)
+		bbs, vls, strides, addrs = bbs+b, vls+v, strides+s, addrs+a
+	}
+	tr := &trace.Trace{
+		Prog:    c.Prog,
+		BBs:     make([]int32, 0, bbs),
+		VLs:     make([]int64, 0, vls),
+		Strides: make([]int64, 0, strides),
+		Addrs:   make([]uint64, 0, addrs),
+	}
 	for _, inv := range schedule {
 		if err := c.AppendTrace(tr, inv); err != nil {
 			return nil, err
 		}
 	}
 	return tr, nil
+}
+
+// countSlots tallies a slot list by kind.
+func countSlots(slots []slot) (vls, strides, addrs int64) {
+	for _, s := range slots {
+		switch s.kind {
+		case slotVL:
+			vls++
+		case slotStride:
+			strides++
+		case slotAddr:
+			addrs++
+		}
+	}
+	return
+}
+
+// sizeInvocation returns the exact stream entry counts one invocation of
+// u appends, mirroring emitVectorUnit/emitScalarUnit.
+func sizeInvocation(u *unitCode, n int64) (bbs, vls, strides, addrs int64) {
+	ev, es, ea := countSlots(u.entrySlots)
+	bv, bs, ba := countSlots(u.bodySlots)
+	if !isVectorUnit(u) {
+		return 1 + n, ev + n*bv, es + n*bs, ea + n*ba
+	}
+	f := n / isa.MaxVL
+	rem := n % isa.MaxVL
+	bbs, vls, strides, addrs = 1+f, ev+f*bv, es+f*bs, ea+f*ba
+	if rem > 0 {
+		tv, ts, ta := countSlots(u.tailSlots)
+		bbs, vls, strides, addrs = bbs+1, vls+tv, strides+ts, addrs+ta
+	}
+	return
 }
 
 func isVectorUnit(u *unitCode) bool { return u.tail >= 0 }

@@ -1,6 +1,10 @@
 package workload
 
-import "mtvec/internal/kernel"
+import (
+	"sync"
+
+	"mtvec/internal/kernel"
+)
 
 // The ten benchmark reconstructions, in Table 3 order. Each recipe picks
 // loop shapes and per-invocation trip counts so that the calibration
@@ -18,7 +22,22 @@ import "mtvec/internal/kernel"
 // a large scalar Monte Carlo part; bdna and trfd use gather/scatter and
 // short vectors; dyfesm is short-vector finite elements with scatters.
 
+// Specs returns the ten benchmark specs. The specs themselves are built
+// once and shared (they are immutable recipes); each call returns a
+// fresh slice so callers may reorder freely.
 func Specs() []*Spec {
+	specsOnce.Do(func() { specsShared = buildSpecs() })
+	out := make([]*Spec, len(specsShared))
+	copy(out, specsShared)
+	return out
+}
+
+var (
+	specsOnce   sync.Once
+	specsShared []*Spec
+)
+
+func buildSpecs() []*Spec {
 	return []*Spec{
 		{
 			Name: "swm256", Short: "sw", Suite: "Spec",

@@ -86,7 +86,11 @@ func (s *Spec) BuildOpts(scale float64, opts vcomp.Options) (*Workload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: %w", s.Name, err)
 	}
-	_, st, err := tr.Stream().Drain()
+	// Validate the replay and measure its dynamic statistics through the
+	// source path, leaving the trace's predecode cache to the first run
+	// that actually streams it (build-only consumers like the Table 3
+	// counts never pay for materialization).
+	_, st, err := prog.NewStream(tr.Prog, tr.Source()).Drain()
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: generated trace does not replay: %w", s.Name, err)
 	}

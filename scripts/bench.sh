@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Reproducible benchmark runner (see docs/PERF.md).
+#
+#   scripts/bench.sh                  # measure -> BENCH_PR.json, gate vs BENCH_baseline.json
+#   scripts/bench.sh -o OUT.json      # measure into OUT.json only (no gate)
+#   scripts/bench.sh --refresh        # re-record BENCH_baseline.json on this machine
+#   scripts/bench.sh --gate-ref REF   # measure REF on THIS machine and gate against it
+#                                     # (what CI uses: same-hardware comparison, so the
+#                                     # gate never trips on runner-vs-laptop differences)
+#
+# Environment knobs (all optional):
+#   BENCHTIME    minimum measuring time per benchmark   (default 300ms)
+#   COUNT        samples per benchmark, fastest wins    (default 3)
+#   MAX_REGRESS  geomean ns/op regression gate fraction (default 0.10)
+#   BASELINE     baseline artifact path                 (default BENCH_baseline.json)
+#   MTVEC_BENCH_SCALE  workload scale override; recorded in the artifact
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-300ms}
+COUNT=${COUNT:-3}
+MAX_REGRESS=${MAX_REGRESS:-0.10}
+BASELINE=${BASELINE:-BENCH_baseline.json}
+
+OUT=BENCH_PR.json
+GATE=1
+REF=${GITHUB_SHA:-local}
+GATE_REF=
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -o) OUT=$2; GATE=0; shift 2 ;;
+    --refresh) OUT=$BASELINE; GATE=0; REF=baseline; shift ;;
+    --gate-ref) GATE_REF=$2; shift 2 ;;
+    *) echo "usage: scripts/bench.sh [-o OUT.json | --refresh | --gate-ref REF]" >&2; exit 2 ;;
+  esac
+done
+
+echo "measuring benchmark suite (benchtime=$BENCHTIME count=$COUNT) -> $OUT" >&2
+go run ./cmd/mtvbench -bench-json -benchtime "$BENCHTIME" -bench-count "$COUNT" \
+  -bench-ref "$REF" -o "$OUT"
+
+[[ $GATE -eq 1 ]] || exit 0
+
+if [[ -n $GATE_REF ]]; then
+  # Same-machine gate: build and measure the base ref right here, so the
+  # comparison never mixes hardware. Falls back to the checked-in
+  # baseline if the base ref predates the harness.
+  WT=$(mktemp -d)/base
+  trap 'git worktree remove --force "$WT" >/dev/null 2>&1 || true' EXIT
+  git worktree add --detach "$WT" "$GATE_REF" >&2
+  if [[ -f "$WT/cmd/mtvbench/bench.go" ]]; then
+    (cd "$WT" && go run ./cmd/mtvbench -bench-json -benchtime "$BENCHTIME" \
+      -bench-count "$COUNT" -bench-ref "$GATE_REF" -o BENCH_base.json)
+    go run ./cmd/mtvbench -bench-compare -max-regress "$MAX_REGRESS" \
+      -o BENCH_compare.json "$WT/BENCH_base.json" "$OUT"
+    exit 0
+  fi
+  echo "base ref $GATE_REF predates the bench harness; using $BASELINE" >&2
+fi
+
+if [[ ! -f $BASELINE ]]; then
+  echo "no $BASELINE checked in; skipping the regression gate" >&2
+  exit 0
+fi
+go run ./cmd/mtvbench -bench-compare -max-regress "$MAX_REGRESS" \
+  -o BENCH_compare.json "$BASELINE" "$OUT"
