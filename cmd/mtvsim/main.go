@@ -13,9 +13,16 @@
 // deadline, and Ctrl-C (SIGINT) stops it gracefully; either way the
 // last streamed progress point is reported.
 //
-// Example:
+// The machine shape is configurable (docs/ARCH.md): -arch selects a
+// preset, and the register-file flags (-vlen, -vregs, -regs-per-bank,
+// -bank-rports, -bank-wports, -partition-regs) sweep individual
+// dimensions; workloads are recompiled for the requested organization.
+//
+// Examples:
 //
 //	mtvsim -programs tf,sw -contexts 2 -latency 50 -mode group -timeout 30s
+//	mtvsim -programs tf,sw -vlen 256 -bank-rports 1 -contexts 2 -mode queue
+//	mtvsim -programs tf,sw -arch cray-ports -contexts 2 -mode queue
 package main
 
 import (
@@ -48,6 +55,20 @@ type simOpts struct {
 	spans    bool
 	states   bool
 	timeout  time.Duration
+
+	// Machine shape (docs/ARCH.md). archName selects a preset; the
+	// register-file flags override individual dimensions of it.
+	archName    string
+	vlen        int
+	vregs       int
+	regsPerBank int
+	bankRPorts  int
+	bankWPorts  int
+	partition   bool
+
+	// scalarLSet / xbarSet record explicit flag use, so a preset's own
+	// scalar-cache and crossbar values survive unless overridden.
+	scalarLSet, xbarSet bool
 }
 
 func main() {
@@ -66,7 +87,22 @@ func main() {
 	flag.BoolVar(&o.spans, "spans", false, "print the per-thread execution profile")
 	flag.BoolVar(&o.states, "states", false, "print the 8-state breakdown")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the simulation after this long (0 = no limit)")
+	flag.StringVar(&o.archName, "arch", "", "machine-shape preset: "+strings.Join(archNames(), " | ")+" (default reference)")
+	flag.IntVar(&o.vlen, "vlen", 0, "vector register length in elements (0 = shape default)")
+	flag.IntVar(&o.vregs, "vregs", 0, "vector registers per context (0 = shape default)")
+	flag.IntVar(&o.regsPerBank, "regs-per-bank", 0, "vector registers per bank (0 = shape default)")
+	flag.IntVar(&o.bankRPorts, "bank-rports", 0, "read ports per register bank (0 = shape default)")
+	flag.IntVar(&o.bankWPorts, "bank-wports", 0, "write ports per register bank (0 = shape default)")
+	flag.BoolVar(&o.partition, "partition-regs", false, "split one physical register file across the contexts (Section 8) instead of replicating it")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scalar-latency":
+			o.scalarLSet = true
+		case "xbar":
+			o.xbarSet = true
+		}
+	})
 
 	// Ctrl-C cancels the run via the context; a second Ctrl-C kills the
 	// process the usual way once stop() restores default handling.
@@ -77,6 +113,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtvsim:", err)
 		os.Exit(1)
 	}
+}
+
+// archNames lists the machine-shape preset names.
+func archNames() []string {
+	var names []string
+	for _, s := range mtvec.ArchPresets() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// resolveShape turns the -arch preset and register-file flags into the
+// spec and the compiler-visible organization. shaped reports whether any
+// register-file dimension departs from the preset's own (requiring a
+// WithRegFile on top of the preset).
+func (o simOpts) resolveShape() (spec mtvec.ArchSpec, rf mtvec.RegFile, shaped bool, err error) {
+	spec = mtvec.ArchConvexC3400()
+	if o.archName != "" {
+		var ok bool
+		if spec, ok = mtvec.ArchByName(o.archName); !ok {
+			return spec, rf, false, fmt.Errorf("unknown arch preset %q (have %s)", o.archName, strings.Join(archNames(), ", "))
+		}
+	}
+	rf = spec.RegFile
+	if o.vlen > 0 {
+		rf.VLen, shaped = o.vlen, true
+	}
+	if o.vregs > 0 {
+		rf.VRegs, shaped = o.vregs, true
+	}
+	if o.regsPerBank > 0 {
+		rf.VRegsPerBank, shaped = o.regsPerBank, true
+	}
+	if o.bankRPorts > 0 {
+		rf.BankReadPorts, shaped = o.bankRPorts, true
+	}
+	if o.bankWPorts > 0 {
+		rf.BankWritePorts, shaped = o.bankWPorts, true
+	}
+	if o.partition {
+		// Without an explicit per-context share the pooled file would
+		// equal the replicated default — a silent no-op.
+		if o.vregs <= 0 {
+			return spec, rf, false, fmt.Errorf("-partition-regs needs -vregs (the per-context share, e.g. -vregs 4 with -contexts 2)")
+		}
+		shaped = true
+	}
+	return spec, rf, shaped, nil
+}
+
+// rfMachine derives the machine-side organization from the
+// compiler-visible one: partitioning pools every context's share into
+// one physical file.
+func rfMachine(rf mtvec.RegFile, o simOpts) mtvec.RegFile {
+	if o.partition {
+		rf.VRegs *= o.contexts
+		rf.PartitionPerContext = true
+	}
+	return rf
 }
 
 // progressMeter is the run Observer behind partial-progress reporting:
@@ -110,6 +205,14 @@ func run(ctx context.Context, w io.Writer, o simOpts) error {
 		defer cancel()
 	}
 
+	// Resolve the machine shape: preset (if any) plus register-file
+	// overrides. The workloads are compiled for the same organization,
+	// so the machine runs code its compiler would have produced.
+	shape, rf, shaped, err := o.resolveShape()
+	if err != nil {
+		return err
+	}
+
 	// Trace reconstruction is the expensive part of a short run; build
 	// the programs concurrently, off the main goroutine so Ctrl-C and
 	// -timeout stay responsive during the build phase too (the process
@@ -120,7 +223,7 @@ func run(ctx context.Context, w io.Writer, o simOpts) error {
 	}
 	built := make(chan buildResult, 1)
 	go func() {
-		ws, err := mtvec.BuildWorkloads(tags, o.scale, o.jobs)
+		ws, err := mtvec.BuildWorkloadsRegFile(tags, o.scale, o.jobs, rf)
 		built <- buildResult{ws, err}
 	}()
 	var ws []*mtvec.Workload
@@ -135,16 +238,32 @@ func run(ctx context.Context, w io.Writer, o simOpts) error {
 	}
 
 	meter := newProgressMeter()
-	opts := []mtvec.RunOption{
+	var opts []mtvec.RunOption
+	if o.archName != "" {
+		opts = append(opts, mtvec.WithArch(shape))
+	}
+	opts = append(opts,
 		mtvec.WithContexts(o.contexts),
 		mtvec.WithMemLatency(o.latency),
-		mtvec.WithScalarLatency(o.scalarL),
-		mtvec.WithXbar(o.xbar),
+	)
+	// A preset's own scalar-cache and crossbar values stand unless the
+	// flag was given explicitly; without a preset the flag defaults
+	// reproduce the reference machine as before.
+	if o.archName == "" || o.scalarLSet {
+		opts = append(opts, mtvec.WithScalarLatency(o.scalarL))
+	}
+	if o.archName == "" || o.xbarSet {
+		opts = append(opts, mtvec.WithXbar(o.xbar))
+	}
+	if shaped {
+		opts = append(opts, mtvec.WithRegFile(rfMachine(rf, o)))
+	}
+	opts = append(opts,
 		mtvec.WithPolicy(o.policy),
 		mtvec.WithDualScalar(o.dual),
 		mtvec.WithIssueWidth(o.issue),
 		mtvec.WithObserver(meter),
-	}
+	)
 	if o.spans {
 		opts = append(opts, mtvec.WithSpans())
 	}

@@ -1,0 +1,100 @@
+// Example regfile runs a miniature register-file organization study —
+// the Section 8 machine-shape axes exposed by the arch layer — on a
+// three-program job queue: vector register length and bank read ports,
+// each at 1 and 2 hardware contexts.
+//
+// Workloads are rebuilt per register length, because a Convex-style
+// compiler strip-mines loops by the hardware vector length: a machine
+// with shorter registers also runs different code. Bank-port variants
+// reuse the same code (ports are invisible to the compiler).
+//
+// The full study over all ten programs is experiment "ext-regfile":
+//
+//	go run ./cmd/mtvbench -exp ext-regfile
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mtvec"
+)
+
+const scale = 1e-4 // small workloads; the shape effects survive scaling
+
+func main() {
+	ctx := context.Background()
+	ses := mtvec.NewSession()
+	programs := []string{"tf", "sw", "hy"}
+	contexts := []int{1, 2}
+
+	fmt.Println("register-file organization study (3-program queue, latency 50)")
+	fmt.Println()
+	fmt.Printf("%-28s %8s %12s %12s\n", "organization", "contexts", "cycles", "vs ref")
+
+	// Reference cycles per context count, for the relative column, and
+	// one suite build per compiler-visible organization: context counts
+	// and bank ports reuse the same compiled code.
+	ref := make(map[int]int64)
+	suites := make(map[mtvec.RegFile][]*mtvec.Workload)
+	run := func(label string, rf mtvec.RegFile, nctx int) {
+		ws, ok := suites[rf.BuildKey()]
+		if !ok {
+			var err error
+			if ws, err = mtvec.BuildWorkloadsRegFile(programs, scale, 0, rf); err != nil {
+				log.Fatal(err)
+			}
+			suites[rf.BuildKey()] = ws
+		}
+		rep, err := ses.Run(ctx, mtvec.Queue(ws,
+			mtvec.WithRegFile(rf),
+			mtvec.WithContexts(nctx),
+			mtvec.WithMemLatency(50),
+		))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, ok := ref[nctx]; !ok {
+			ref[nctx] = rep.Cycles
+		}
+		fmt.Printf("%-28s %8d %12d %12.4f\n", label, nctx, rep.Cycles,
+			float64(rep.Cycles)/float64(ref[nctx]))
+	}
+
+	// The reference organization first (8 regs x 128 elements, 4 banks
+	// with 2R/1W ports), then the register-length axis, then the
+	// bank-port axis.
+	for _, nctx := range contexts {
+		run("8x128, 4 banks 2R/1W (ref)", mtvec.DefaultRegFile(), nctx)
+	}
+	for _, vlen := range []int{64, 256} {
+		rf := mtvec.DefaultRegFile()
+		rf.VLen = vlen
+		for _, nctx := range contexts {
+			run(fmt.Sprintf("8x%d, 4 banks 2R/1W", vlen), rf, nctx)
+		}
+	}
+	for _, geom := range []struct {
+		label   string
+		perBank int
+		rp      int
+	}{
+		{"8x128, 8 banks 1R/1W", 1, 1},
+		{"8x128, 1 bank 2R/1W", 8, 2},
+	} {
+		rf := mtvec.DefaultRegFile()
+		rf.VRegsPerBank, rf.BankReadPorts, rf.BankWritePorts = geom.perBank, geom.rp, 1
+		for _, nctx := range contexts {
+			run(geom.label, rf, nctx)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("presets: a whole machine shape is one value")
+	for _, spec := range mtvec.ArchPresets() {
+		fmt.Printf("  %-14s %2d vregs x %4d elements, %d banks %dR/%dW, %d+%d FUs\n",
+			spec.Name, spec.VRegs, spec.VLen, spec.NumBanks(),
+			spec.BankReadPorts, spec.BankWritePorts, spec.RestrictedFUs, spec.GeneralFUs)
+	}
+}

@@ -84,12 +84,13 @@ func (b *bankState) prune(now Cycle) {
 	b.writes = keep(b.writes)
 }
 
-// writePortFree reports whether the bank's single write port is free for
-// the whole window [s, e). On failure it returns the earliest cycle the
-// conflict could clear. (The read-port check goes through checkBankReads,
-// which groups sources sharing a bank before calling portFree.)
-func (b *bankState) writePortFree(s, e Cycle) (bool, Cycle) {
-	return portFree(b.writes, s, e, isa.BankWritePorts)
+// writePortFree reports whether the bank has a write port free for the
+// whole window [s, e); ports is the bank's write-port count from the
+// machine shape. On failure it returns the earliest cycle the conflict
+// could clear. (The read-port check goes through checkBankReads, which
+// groups sources sharing a bank before calling portFree.)
+func (b *bankState) writePortFree(s, e Cycle, ports int) (bool, Cycle) {
+	return portFree(b.writes, s, e, ports)
 }
 
 // portFree counts the maximum overlap of existing windows with [s, e) and
@@ -173,10 +174,12 @@ type hwContext struct {
 	// array math: rows ClassA and ClassS carry the A/S scoreboards, the
 	// rows for ClassNone, ClassV and ClassImm are never written and read
 	// as always-ready — exactly the branchy per-class semantics, minus
-	// the branches.
+	// the branches. The vector register and bank state are sized by the
+	// machine shape (arch.Derived) and slice into machine-wide backing
+	// arrays (see New).
 	scoreb [numRegClasses][isa.NumA]Cycle
-	vregs  [isa.NumV]vregState
-	banks  [isa.NumVBanks]bankState
+	vregs  []vregState
+	banks  []bankState
 
 	// Instruction supply. head points at the stream's current decoded
 	// instruction — shared immutable predecode entries for cached
@@ -222,6 +225,15 @@ func (c *hwContext) refill(m *Machine) bool {
 	for {
 		if c.stream != nil {
 			if d := c.stream.NextDec(); d != nil {
+				if d.Kind == isa.KindVector || d.Kind == isa.KindVectorMem {
+					if err := m.checkShape(d); err != nil {
+						if c.err == nil {
+							c.err = err
+						}
+						c.markExhausted(m)
+						return false
+					}
+				}
 				c.head = d
 				c.headValid = true
 				return true

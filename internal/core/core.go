@@ -40,6 +40,7 @@ import (
 	"context"
 	"fmt"
 
+	"mtvec/internal/arch"
 	"mtvec/internal/isa"
 	"mtvec/internal/memsys"
 	"mtvec/internal/prog"
@@ -47,35 +48,30 @@ import (
 	"mtvec/internal/stats"
 )
 
-// MaxContexts is the largest context count the register file model
-// supports (the paper studies up to 4).
-const MaxContexts = 8
-
-// Config selects a machine variant.
+// Config selects a machine variant: a machine shape (the embedded
+// arch.Spec — register file, functional-unit mix, latency table Lat,
+// memory system Mem, default IssueWidth) plus the per-run knobs below.
+// The zero Spec resolves to arch.ConvexC3400(), the paper's reference
+// shape, so Config values that predate the arch layer keep their
+// meaning.
 type Config struct {
 	// Contexts is the number of hardware contexts; 1 models the
-	// reference architecture.
+	// reference architecture. The upper bound is the shape's
+	// Spec.MaxContexts (8 on the reference machine).
 	Contexts int
 
-	// Lat is the functional-unit / crossbar latency table (Table 1).
-	Lat isa.LatencyTable
-
-	// Mem configures the memory subsystem (latency, ports, banking).
-	Mem memsys.Config
+	// Spec is the machine shape. Its Lat, Mem and IssueWidth fields are
+	// promoted, so cfg.Mem.Latency and friends read as they always did.
+	arch.Spec
 
 	// Policy is the thread-switch policy; nil selects the paper's
-	// Unfair scheme.
+	// "unfair" scheme.
 	Policy sched.Policy
 
 	// DualScalar models the Fujitsu VP2000 Dual Scalar Processing
 	// configuration of Section 9: one decode/scalar unit per context
 	// (requires exactly 2 contexts), sharing the vector facility.
 	DualScalar bool
-
-	// IssueWidth is the number of decode slots per cycle (the paper's
-	// future-work "dispatch from several threads"; 1 is the paper's
-	// machine).
-	IssueWidth int
 
 	// Observers receive streaming run events (progress, thread
 	// switches, program spans). Observers do not affect the simulated
@@ -111,23 +107,28 @@ type Config struct {
 // DefaultConfig returns the reference architecture at 50-cycle memory
 // latency.
 func DefaultConfig() Config {
-	return Config{
-		Contexts:   1,
-		Lat:        isa.DefaultLatencies(),
-		Mem:        memsys.DefaultConfig(),
-		IssueWidth: 1,
+	return Config{Contexts: 1, Spec: arch.ConvexC3400()}
+}
+
+// Normalized resolves the config's defaulting rules without running
+// anything: a zero Spec becomes arch.ConvexC3400(), and a zero
+// IssueWidth takes the shape's default. Validate, New and the session
+// memo key all operate on the normalized form, so a defaulted config and
+// its explicit spelling are the same machine.
+func (c Config) Normalized() Config {
+	if c.Spec.IsZero() {
+		c.Spec = arch.ConvexC3400()
 	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 1
+	}
+	return c
 }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if c.Contexts < 1 || c.Contexts > MaxContexts {
-		return fmt.Errorf("core: contexts %d out of range 1..%d", c.Contexts, MaxContexts)
-	}
-	if err := c.Lat.Validate(); err != nil {
-		return err
-	}
-	if err := c.Mem.Validate(); err != nil {
+	c = c.Normalized()
+	if _, err := c.Spec.Derive(c.Contexts); err != nil {
 		return err
 	}
 	if c.DualScalar && c.Contexts != 2 {
@@ -154,8 +155,24 @@ type Machine struct {
 	lat isa.LatencyTable
 	mem *memsys.System
 
-	fu1, fu2, ld fuState
-	ctxs         []hwContext // contiguous: one cache-friendly block
+	fu1, fu2 fuState // the default 1-restricted + 1-general FU pair
+	ld       fuState
+	// fus holds the lanes of a non-default mix (restricted lanes first);
+	// nil when pairFU selects the devirtualized fu1/fu2 fast path.
+	fus    []fuState
+	pairFU bool
+
+	// Machine-shape tables resolved from cfg.Spec (arch.Derived),
+	// flattened into the machine for branch-free hot-path access.
+	bankOf   [arch.MaxVRegs]uint8
+	ctxVRegs int
+	numBanks int
+	bankRP   int
+	bankWP   int
+	vlMax    uint16
+	fuRestr  int
+
+	ctxs []hwContext // contiguous: one cache-friendly block
 
 	now        Cycle
 	cur        int
@@ -201,11 +218,18 @@ type Machine struct {
 
 // New builds a machine from cfg.
 func New(cfg Config) (*Machine, error) {
-	if cfg.IssueWidth == 0 {
-		cfg.IssueWidth = 1
-	}
-	if err := cfg.Validate(); err != nil {
+	cfg = cfg.Normalized()
+	// Derive runs the spec- and context-level validation; only the two
+	// cross-knob checks of Config.Validate remain.
+	der, err := cfg.Spec.Derive(cfg.Contexts)
+	if err != nil {
 		return nil, err
+	}
+	if cfg.DualScalar && cfg.Contexts != 2 {
+		return nil, fmt.Errorf("core: dual-scalar mode requires exactly 2 contexts, have %d", cfg.Contexts)
+	}
+	if cfg.IssueWidth < 1 || cfg.IssueWidth > cfg.Contexts {
+		return nil, fmt.Errorf("core: issue width %d out of range 1..contexts", cfg.IssueWidth)
 	}
 	mem, err := memsys.New(cfg.Mem)
 	if err != nil {
@@ -225,6 +249,22 @@ func New(cfg Config) (*Machine, error) {
 		m.scalarLat[op] = Cycle(m.lat.Scalar(op))
 		m.vecDepth[op] = Cycle(m.lat.VectorStartup + m.lat.ReadXbar + m.lat.VectorFU(op) + m.lat.WriteXbar)
 	}
+
+	// Machine-shape tables. The default 1-restricted + 1-general FU pair
+	// keeps its devirtualized fu1/fu2 fast path; other mixes go through
+	// the fus lane slice.
+	m.bankOf = der.BankOf
+	m.ctxVRegs = der.CtxVRegs
+	m.numBanks = der.NumBanks
+	m.bankRP = der.BankReadPorts
+	m.bankWP = der.BankWritePorts
+	m.vlMax = der.VLMax
+	m.fuRestr = der.RestrictedFUs
+	m.pairFU = der.RestrictedFUs == 1 && der.TotalFUs == 2
+	if !m.pairFU {
+		m.fus = make([]fuState, der.TotalFUs)
+	}
+
 	m.obs = append(m.obs, cfg.Observers...)
 	if cfg.RecordSpans {
 		m.spanRec = &SpanRecorder{}
@@ -236,9 +276,18 @@ func New(cfg Config) (*Machine, error) {
 		m.progressStride = DefaultProgressStride
 	}
 	m.nextProgress = m.progressStride
+
+	// One contiguous block per state kind: the contexts themselves, then
+	// every context's register and bank windows, sliced out of shared
+	// backing arrays so multi-context scans stay cache-friendly.
 	m.ctxs = make([]hwContext, cfg.Contexts)
+	vregs := make([]vregState, cfg.Contexts*der.CtxVRegs)
+	banks := make([]bankState, cfg.Contexts*der.NumBanks)
 	for i := range m.ctxs {
-		m.ctxs[i].init(i)
+		c := &m.ctxs[i]
+		c.vregs = vregs[i*der.CtxVRegs : (i+1)*der.CtxVRegs : (i+1)*der.CtxVRegs]
+		c.banks = banks[i*der.NumBanks : (i+1)*der.NumBanks : (i+1)*der.NumBanks]
+		c.init(i)
 	}
 	return m, nil
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"mtvec/internal/isa"
+	"mtvec/internal/prog"
 	"mtvec/internal/stats"
 )
 
@@ -210,67 +213,153 @@ func destFree(v *vregState, now Cycle) (bool, Cycle) {
 	return true, 0
 }
 
+// checkShape rejects an instruction that does not fit the machine shape:
+// a vector register beyond the context's (possibly partitioned) file, or
+// a vector length beyond the shape's register length. Programs compiled
+// for the default shape never trip it; the check exists so a trace built
+// for one register-file organization fails loudly — not silently — on a
+// machine with a smaller one.
+func (m *Machine) checkShape(d *prog.DecodedInst) error {
+	if d.Dst.Class == isa.ClassV && int(d.Dst.Reg) >= m.ctxVRegs {
+		return fmt.Errorf("vector register v%d out of range: this context sees %d registers", d.Dst.Reg, m.ctxVRegs)
+	}
+	for _, r := range d.VSrcs[:d.NVSrc] {
+		if int(r) >= m.ctxVRegs {
+			return fmt.Errorf("vector register v%d out of range: this context sees %d registers", r, m.ctxVRegs)
+		}
+	}
+	if d.VL > m.vlMax {
+		return fmt.Errorf("vector length %d exceeds the machine's %d-element registers (rebuild the workload for this shape)", d.VL, m.vlMax)
+	}
+	// An instruction whose two vector sources live in one bank needs two
+	// simultaneous read ports there; on a shape without them it could
+	// never dispatch, so reject it instead of stalling forever. Code
+	// compiled for the shape (vcomp spreads operands across banks)
+	// avoids this by construction.
+	if d.NVSrc == 2 && m.bankRP < 2 && m.bankOf[d.VSrcs[0]] == m.bankOf[d.VSrcs[1]] {
+		return fmt.Errorf("both vector sources (v%d, v%d) live in bank %d, which has only %d read port(s); 1-read-port organizations need one register per bank (VRegsPerBank=1)",
+			d.VSrcs[0], d.VSrcs[1], m.bankOf[d.VSrcs[0]], m.bankRP)
+	}
+	return nil
+}
+
 // checkBankReads verifies read-port capacity for the given source
 // registers over [s, e), counting sources that share a bank together.
-func (c *hwContext) checkBankReads(srcs []uint8, s, e Cycle) (bool, Cycle) {
-	if len(srcs) == 0 {
+// Banks are examined in ascending index order so the failure hint (the
+// first failing bank's clear cycle) is stable. An instruction has at
+// most two vector sources, so the two unrolled cases below cover every
+// dispatch; the general loop is a guard for hypothetical wider forms.
+func (m *Machine) checkBankReads(c *hwContext, srcs []uint8, s, e Cycle) (bool, Cycle) {
+	switch len(srcs) {
+	case 0:
 		return true, 0
+	case 1:
+		return m.checkBankRead(c, int(m.bankOf[srcs[0]]), 1, s, e)
+	case 2:
+		b0, b1 := int(m.bankOf[srcs[0]]), int(m.bankOf[srcs[1]])
+		if b0 == b1 {
+			return m.checkBankRead(c, b0, 2, s, e)
+		}
+		if b0 > b1 {
+			b0, b1 = b1, b0
+		}
+		if ok, retry := m.checkBankRead(c, b0, 1, s, e); !ok {
+			return false, retry
+		}
+		return m.checkBankRead(c, b1, 1, s, e)
 	}
-	var perBank [isa.NumVBanks]int
-	for _, r := range srcs {
-		perBank[isa.VBank(r)]++
-	}
-	for bank, k := range perBank {
+	for bank := 0; bank < m.numBanks; bank++ {
+		k := 0
+		for _, r := range srcs {
+			if int(m.bankOf[r]) == bank {
+				k++
+			}
+		}
 		if k == 0 {
 			continue
 		}
-		need := isa.BankReadPorts - k + 1
-		if need < 1 {
-			// More simultaneous readers than ports in one bank: the
-			// compiler avoids this, but guard anyway.
-			return false, s + 1
-		}
-		ok, retry := portFree(c.banks[bank].reads, s, e, need)
-		if !ok {
+		if ok, retry := m.checkBankRead(c, bank, k, s, e); !ok {
 			return false, retry
 		}
 	}
 	return true, 0
 }
 
+// checkBankRead verifies that bank can serve k more concurrent readers
+// over [s, e) within its read-port capacity.
+func (m *Machine) checkBankRead(c *hwContext, bank, k int, s, e Cycle) (bool, Cycle) {
+	need := m.bankRP - k + 1
+	if need < 1 {
+		// More simultaneous readers than ports in one bank: the
+		// compiler avoids this, but guard anyway.
+		return false, s + 1
+	}
+	return portFree(c.banks[bank].reads, s, e, need)
+}
+
 // commitReads records read windows and port usage for sources.
-func (c *hwContext) commitReads(srcs []uint8, s, e Cycle, now Cycle) {
+func (m *Machine) commitReads(c *hwContext, srcs []uint8, s, e Cycle, now Cycle) {
 	for _, r := range srcs {
 		c.vregs[r].addReader(now, e)
-		bank := &c.banks[isa.VBank(r)]
+		bank := &c.banks[m.bankOf[r]]
 		bank.prune(now)
 		bank.reads = append(bank.reads, portWindow{s, e})
 	}
 }
 
 // pickVectorFU selects the functional unit for c's head vector arithmetic
-// op: FU1 when allowed and free, else FU2. On failure it returns the
-// earliest retry cycle.
+// op: a restricted lane when allowed and free, else a general lane (on
+// the paper's machine: FU1 when allowed and free, else FU2). On failure
+// it returns the earliest retry cycle. The default 1+1 mix runs on the
+// devirtualized fu1/fu2 pair; other mixes scan the lane slice in fixed
+// order, restricted lanes first.
 func (m *Machine) pickVectorFU(c *hwContext) (fu *fuState, unit int, retry Cycle) {
 	now := m.now
-	if !c.head.FU1OK { // mul/div/sqrt run on FU2 only (Section 3)
-		if m.fu2.freeAt > now {
-			return nil, 0, m.fu2.freeAt
+	if m.pairFU {
+		if !c.head.FU1OK { // mul/div/sqrt run on FU2 only (Section 3)
+			if m.fu2.freeAt > now {
+				return nil, 0, m.fu2.freeAt
+			}
+			return &m.fu2, stats.UnitFU2, 0
 		}
-		return &m.fu2, stats.UnitFU2, 0
-	}
-	switch {
-	case m.fu1.freeAt <= now:
-		return &m.fu1, stats.UnitFU1, 0
-	case m.fu2.freeAt <= now:
-		return &m.fu2, stats.UnitFU2, 0
-	default:
-		retry = m.fu1.freeAt
-		if m.fu2.freeAt < retry {
-			retry = m.fu2.freeAt
+		switch {
+		case m.fu1.freeAt <= now:
+			return &m.fu1, stats.UnitFU1, 0
+		case m.fu2.freeAt <= now:
+			return &m.fu2, stats.UnitFU2, 0
+		default:
+			retry = m.fu1.freeAt
+			if m.fu2.freeAt < retry {
+				retry = m.fu2.freeAt
+			}
+			return nil, 0, retry
 		}
-		return nil, 0, retry
 	}
+	start := 0
+	if !c.head.FU1OK {
+		start = m.fuRestr // restricted lanes cannot run mul/div/sqrt
+	}
+	retry = Cycle(1<<62 - 1)
+	for i := start; i < len(m.fus); i++ {
+		if m.fus[i].freeAt <= now {
+			return &m.fus[i], m.fuUnit(i), 0
+		}
+		if m.fus[i].freeAt < retry {
+			retry = m.fus[i].freeAt
+		}
+	}
+	return nil, 0, retry
+}
+
+// fuUnit maps a lane index to its timeline unit: restricted lanes share
+// the FU1 lane of the paper's ⟨FU2,FU1,LD⟩ state tuple, general lanes
+// the FU2 lane, so the Figure 4 breakdown keeps its meaning ("some lane
+// of this class is busy") on any mix.
+func (m *Machine) fuUnit(i int) int {
+	if i < m.fuRestr {
+		return stats.UnitFU1
+	}
+	return stats.UnitFU2
 }
 
 func (m *Machine) checkVectorArith(c *hwContext) (bool, Cycle) {
@@ -315,11 +404,11 @@ func (m *Machine) checkVectorArith(c *hwContext) (bool, Cycle) {
 	lw := fw + vl - 1
 
 	// Register-bank ports.
-	if ok, retry := c.checkBankReads(srcs, s, readEnd); !ok {
+	if ok, retry := m.checkBankReads(c, srcs, s, readEnd); !ok {
 		return false, retry
 	}
 	if !redDest {
-		ok, retry := c.banks[isa.VBank(d.Dst.Reg)].writePortFree(fw, lw+1)
+		ok, retry := c.banks[m.bankOf[d.Dst.Reg]].writePortFree(fw, lw+1, m.bankWP)
 		if !ok {
 			return false, retry
 		}
@@ -371,11 +460,11 @@ func (m *Machine) commitVectorArith(c *hwContext) (bool, Cycle) {
 	fw := s + m.vecDepth[d.Op]
 	lw := fw + vl - 1
 
-	if ok, retry := c.checkBankReads(srcs, s, readEnd); !ok {
+	if ok, retry := m.checkBankReads(c, srcs, s, readEnd); !ok {
 		return false, retry
 	}
 	if !redDest {
-		ok, retry := c.banks[isa.VBank(d.Dst.Reg)].writePortFree(fw, lw+1)
+		ok, retry := c.banks[m.bankOf[d.Dst.Reg]].writePortFree(fw, lw+1, m.bankWP)
 		if !ok {
 			return false, retry
 		}
@@ -383,12 +472,12 @@ func (m *Machine) commitVectorArith(c *hwContext) (bool, Cycle) {
 
 	fu.freeAt = s + vl
 	m.tl.AddBusy(unit, s, s+vl)
-	c.commitReads(srcs, s, readEnd, now)
+	m.commitReads(c, srcs, s, readEnd, now)
 	if redDest {
 		c.setScalarReady(d.Dst, lw+1)
 	} else {
 		dv.wFirst, dv.wLast, dv.chainable = fw, lw, true
-		bank := &c.banks[isa.VBank(d.Dst.Reg)]
+		bank := &c.banks[m.bankOf[d.Dst.Reg]]
 		bank.prune(now)
 		bank.writes = append(bank.writes, portWindow{fw, lw + 1})
 	}
@@ -444,11 +533,11 @@ func (m *Machine) commitVectorMem(c *hwContext) (bool, Cycle) {
 		lw = fw + busyFor - 1
 	}
 
-	if ok, retry := c.checkBankReads(srcs, start, readEnd); !ok {
+	if ok, retry := m.checkBankReads(c, srcs, start, readEnd); !ok {
 		return false, retry
 	}
 	if info.Load {
-		ok, retry := c.banks[isa.VBank(d.Dst.Reg)].writePortFree(fw, lw+1)
+		ok, retry := c.banks[m.bankOf[d.Dst.Reg]].writePortFree(fw, lw+1, m.bankWP)
 		if !ok {
 			return false, retry
 		}
@@ -457,10 +546,10 @@ func (m *Machine) commitVectorMem(c *hwContext) (bool, Cycle) {
 	m.mem.ScheduleVector(s, vl, d.Stride, info.Load)
 	m.ld.freeAt = start + busyFor
 	m.tl.AddBusy(stats.UnitLD, start, start+busyFor)
-	c.commitReads(srcs, start, readEnd, now)
+	m.commitReads(c, srcs, start, readEnd, now)
 	if info.Load {
 		dv.wFirst, dv.wLast, dv.chainable = fw, lw, false
-		bank := &c.banks[isa.VBank(d.Dst.Reg)]
+		bank := &c.banks[m.bankOf[d.Dst.Reg]]
 		bank.prune(now)
 		bank.writes = append(bank.writes, portWindow{fw, lw + 1})
 	}
@@ -483,13 +572,13 @@ func (m *Machine) applyVectorArith(c *hwContext) {
 
 	fu.freeAt = s + vl
 	m.tl.AddBusy(unit, s, s+vl)
-	c.commitReads(srcs, s, readEnd, now)
+	m.commitReads(c, srcs, s, readEnd, now)
 	if redDest {
 		c.setScalarReady(d.Dst, lw+1)
 	} else {
 		dv := &c.vregs[d.Dst.Reg]
 		dv.wFirst, dv.wLast, dv.chainable = fw, lw, true
-		bank := &c.banks[isa.VBank(d.Dst.Reg)]
+		bank := &c.banks[m.bankOf[d.Dst.Reg]]
 		bank.prune(now)
 		bank.writes = append(bank.writes, portWindow{fw, lw + 1})
 	}
@@ -542,11 +631,11 @@ func (m *Machine) checkVectorMem(c *hwContext) (bool, Cycle) {
 		lw = fw + busyFor - 1
 	}
 
-	if ok, retry := c.checkBankReads(srcs, start, readEnd); !ok {
+	if ok, retry := m.checkBankReads(c, srcs, start, readEnd); !ok {
 		return false, retry
 	}
 	if info.Load {
-		ok, retry := c.banks[isa.VBank(d.Dst.Reg)].writePortFree(fw, lw+1)
+		ok, retry := c.banks[m.bankOf[d.Dst.Reg]].writePortFree(fw, lw+1, m.bankWP)
 		if !ok {
 			return false, retry
 		}
@@ -565,13 +654,13 @@ func (m *Machine) applyVectorMem(c *hwContext) {
 	readEnd := start + busyFor
 	m.ld.freeAt = start + busyFor
 	m.tl.AddBusy(stats.UnitLD, start, start+busyFor)
-	c.commitReads(srcs, start, readEnd, now)
+	m.commitReads(c, srcs, start, readEnd, now)
 	if info.Load {
 		fw := firstData + Cycle(m.lat.VectorStartup+m.lat.WriteXbar)
 		lw := fw + busyFor - 1
 		dv := &c.vregs[d.Dst.Reg]
 		dv.wFirst, dv.wLast, dv.chainable = fw, lw, false
-		bank := &c.banks[isa.VBank(d.Dst.Reg)]
+		bank := &c.banks[m.bankOf[d.Dst.Reg]]
 		bank.prune(now)
 		bank.writes = append(bank.writes, portWindow{fw, lw + 1})
 	}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mtvec/internal/arch"
+	"mtvec/internal/isa"
+	"mtvec/internal/prog"
+	"mtvec/internal/stats"
+)
+
+// vecProgram is a small chained vector kernel touching two banks.
+func vecProgram() *prog.Program {
+	return mkProgram("vp",
+		isa.Inst{Op: isa.OpSetVL, Src1: isa.A(0)},
+		isa.Inst{Op: isa.OpVLoad, Dst: isa.V(0), Src1: isa.A(1)},
+		isa.Inst{Op: isa.OpVAdd, Dst: isa.V(2), Src1: isa.V(0), Src2: isa.V(4)},
+		isa.Inst{Op: isa.OpVMul, Dst: isa.V(6), Src1: isa.V(2), Src2: isa.V(4)},
+		isa.Inst{Op: isa.OpVStore, Src1: isa.V(6), Src2: isa.A(1)},
+	)
+}
+
+func runVec(t *testing.T, cfg Config, reps int) *stats.Report {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vecProgram()
+	vls := make([]int64, reps)
+	addrs := make([]uint64, 2*reps)
+	for i := range vls {
+		vls[i] = 128
+	}
+	for i := range addrs {
+		addrs[i] = uint64(0x1000 + 1024*i)
+	}
+	if err := m.SetThreadStream(0, p.Name, streamOf(p, reps, vls, nil, addrs)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(Stop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestExplicitReferenceSpecIsByteIdentical is the arch layer's core
+// contract: a machine built from an explicit arch.ConvexC3400() spec is
+// indistinguishable from one built from the pre-arch defaulted Config.
+func TestExplicitReferenceSpecIsByteIdentical(t *testing.T) {
+	implicit := Config{Contexts: 1} // zero Spec: normalizes to the reference
+	explicit := Config{Contexts: 1, Spec: arch.ConvexC3400()}
+	a := runVec(t, implicit, 64)
+	b := runVec(t, explicit, 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("explicit reference spec drifted:\n defaulted: %+v\n explicit:  %+v", a, b)
+	}
+}
+
+// TestContextCapComesFromSpec replaces the old core.MaxContexts test:
+// the cap is per-shape now.
+func TestContextCapComesFromSpec(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Contexts = 9 // reference shape supports 8
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("9 contexts on an 8-context shape: err = %v", err)
+	}
+	cfg.MaxContexts = 16
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("raised cap rejected: %v", err)
+	}
+}
+
+// TestSingleBankSerializesReads pins the bank-geometry semantics: the
+// same program on a single-bank file must cost strictly more cycles than
+// on the reference 4-bank file (operand reads compete for 2 ports).
+func TestSingleBankSerializesReads(t *testing.T) {
+	ref := runVec(t, DefaultConfig(), 64)
+
+	cfg := DefaultConfig()
+	cfg.VRegsPerBank = 8 // one bank holds all 8 registers
+	one := runVec(t, cfg, 64)
+
+	if one.Cycles <= ref.Cycles {
+		t.Fatalf("single-bank file not slower: %d vs %d cycles", one.Cycles, ref.Cycles)
+	}
+}
+
+// TestStructurallyImpossibleDispatchErrors: an instruction whose two
+// sources share a 1-read-port bank can never dispatch; the machine must
+// reject it instead of spinning forever.
+func TestStructurallyImpossibleDispatchErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VRegsPerBank, cfg.BankReadPorts, cfg.BankWritePorts = 8, 1, 1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mkProgram("imp",
+		isa.Inst{Op: isa.OpSetVL, Src1: isa.A(0)},
+		isa.Inst{Op: isa.OpVAdd, Dst: isa.V(2), Src1: isa.V(0), Src2: isa.V(1)},
+	)
+	if err := m.SetThreadStream(0, p.Name, streamOf(p, 1, []int64{64}, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(Stop{})
+	if err == nil || !strings.Contains(err.Error(), "read port") {
+		t.Fatalf("err = %v, want a bank read-port rejection", err)
+	}
+}
+
+// TestPartitionedFileRejectsOutOfRangeRegisters: a context of a
+// partitioned file sees only its share; code compiled for the full file
+// fails loudly.
+func TestPartitionedFileRejectsOutOfRangeRegisters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Contexts = 2
+	cfg.PartitionPerContext = true // 4 registers per context
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vecProgram() // uses v6
+	if err := m.SetThreadStream(0, p.Name, streamOf(p, 1, []int64{64}, nil, manyAddrs(2))); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(Stop{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want register out-of-range", err)
+	}
+}
+
+// TestVLBeyondShapeRejected: a trace carrying vector lengths the shape's
+// registers cannot hold is rejected, not silently clamped.
+func TestVLBeyondShapeRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VLen = 64
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mkProgram("long",
+		isa.Inst{Op: isa.OpSetVL, Src1: isa.A(0)},
+		isa.Inst{Op: isa.OpVAdd, Dst: isa.V(2), Src1: isa.V(0), Src2: isa.V(4)},
+	)
+	// The stream clamps SetVL at the reference 128, above the machine's 64.
+	if err := m.SetThreadStream(0, p.Name, streamOf(p, 1, []int64{128}, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(Stop{})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v, want vector-length rejection", err)
+	}
+}
+
+// TestGeneralFUMixRunsEverywhere: with two general lanes, FU2-only ops
+// (mul) can run concurrently — a program alternating muls must finish
+// faster than on the reference 1-restricted + 1-general pair, where they
+// serialize on FU2.
+func TestGeneralFUMixRunsEverywhere(t *testing.T) {
+	// Distinct banks throughout (destinations 0/1, sources 2/3), so the
+	// only shared resource between the two muls is the FU pool.
+	p := mkProgram("mm",
+		isa.Inst{Op: isa.OpSetVL, Src1: isa.A(0)},
+		isa.Inst{Op: isa.OpVMul, Dst: isa.V(0), Src1: isa.V(4), Src2: isa.V(6)},
+		isa.Inst{Op: isa.OpVMul, Dst: isa.V(2), Src1: isa.V(5), Src2: isa.V(7)},
+	)
+	run := func(cfg Config) Cycle {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vls := make([]int64, 32)
+		for i := range vls {
+			vls[i] = 128
+		}
+		if err := m.SetThreadStream(0, p.Name, streamOf(p, 32, vls, nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(Stop{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Cycles
+	}
+	pair := run(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.RestrictedFUs, cfg.GeneralFUs = 0, 2
+	dual := run(cfg)
+	if dual >= pair {
+		t.Fatalf("two general lanes not faster for muls: %d vs %d cycles", dual, pair)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mtvec/internal/arch"
 	"mtvec/internal/prog"
 	"mtvec/internal/runner"
 	"mtvec/internal/session"
@@ -52,6 +53,10 @@ type Env struct {
 	workloads runner.Cache[string, *workload.Workload]
 	naive     runner.Cache[struct{}, []*workload.Workload]
 	grouped   runner.Cache[struct{}, []GroupedRun]
+	// archSuites caches the queue-order suite per compiler-visible
+	// register-file organization (arch.RegFile.BuildKey), for the
+	// register-file organization study.
+	archSuites runner.Cache[arch.RegFile, []*workload.Workload]
 }
 
 // ctxBox wraps a context for atomic storage (contexts have varying
@@ -172,6 +177,19 @@ type QueueSpec struct {
 	Banks      int // banked-memory extension (0 = conflict-free)
 	BankBusy   int
 
+	// RegFile selects a vector register file organization for both the
+	// machine and the workload build (the suite is recompiled per
+	// distinct compiler-visible organization). Zero is the reference
+	// organization and shares the default suite.
+	RegFile arch.RegFile
+
+	// Partition runs the Section 8 register-splitting alternative: the
+	// machine holds one physical file of Contexts x RegFile.VRegs
+	// registers split evenly, instead of replicating RegFile per
+	// context. RegFile describes what each context sees (and what the
+	// suite is compiled for).
+	Partition bool
+
 	RecordSpans bool
 }
 
@@ -199,6 +217,16 @@ func (s QueueSpec) options() []session.Option {
 	if s.Banks > 0 {
 		opts = append(opts, session.WithMemBanks(s.Banks, s.BankBusy))
 	}
+	if !s.RegFile.IsZero() || s.Partition {
+		rf := s.RegFile.Normalize()
+		if s.Partition {
+			// The machine's physical file pools every context's share;
+			// each context still sees rf.VRegs registers.
+			rf.VRegs *= s.Contexts
+			rf.PartitionPerContext = true
+		}
+		opts = append(opts, session.WithRegFile(rf))
+	}
 	if s.RecordSpans {
 		opts = append(opts, session.WithSpans())
 	}
@@ -221,7 +249,7 @@ func (e *Env) suite() ([]*workload.Workload, error) {
 
 // QueueRun executes (once) the ten-program job queue under the spec.
 func (e *Env) QueueRun(s QueueSpec) (*stats.Report, error) {
-	ws, err := e.suite()
+	ws, err := e.suiteFor(s.RegFile)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +258,33 @@ func (e *Env) QueueRun(s QueueSpec) (*stats.Report, error) {
 		return nil, fmt.Errorf("experiments: queue run (%d ctx, lat %d): %w", s.Contexts, s.Latency, err)
 	}
 	return rep, nil
+}
+
+// suiteFor returns the queue-order workloads compiled for the given
+// register-file organization, building each distinct compiler-visible
+// organization once. The zero (and reference) organization shares the
+// default suite.
+func (e *Env) suiteFor(rf arch.RegFile) ([]*workload.Workload, error) {
+	key := rf.BuildKey()
+	if rf.IsZero() || key == arch.DefaultRegFile().BuildKey() {
+		return e.suite()
+	}
+	return e.archSuites.DoContext(e.runCtx(), key, func() ([]*workload.Workload, error) {
+		specs := workload.QueueOrder()
+		out := make([]*workload.Workload, len(specs))
+		pool := runner.New(4 * e.Jobs())
+		err := pool.Map(len(specs), func(i int) (err error) {
+			if err := e.runCtx().Err(); err != nil {
+				return err
+			}
+			e.ses.Do(func() { out[i], err = specs[i].BuildOpts(e.Scale, vcomp.Options{RegFile: key}) })
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
 }
 
 // NaiveSuite builds (once) the queue-order workloads with the compiler's

@@ -31,8 +31,8 @@ func runExp(t *testing.T, id string) *Result {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("experiments = %d, want 17 (3 tables + 9 figures + 5 extensions)", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("experiments = %d, want 18 (3 tables + 9 figures + 6 extensions)", len(ids))
 	}
 	for _, id := range ids {
 		if ByID(id) == nil {

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mtvec/internal/arch"
+	"mtvec/internal/report"
+)
+
+// The register-file organization study sweeps the three axes the arch
+// layer exposes on top of the paper's Section 8 register-file analysis:
+// vector register length, bank/port geometry, and per-context register
+// partitioning, each across 1..4 hardware contexts on the ten-program
+// job queue at 50-cycle memory latency. The suite is recompiled for
+// every compiler-visible organization (strip-mining length, register
+// count, bank spread), so each machine runs code a Convex-style
+// compiler would have produced for it.
+
+// regfileVLens is the register-length axis (128 is the reference).
+var regfileVLens = []int{64, 128, 256, 512}
+
+// regfileGeoms is the bank-geometry axis.
+var regfileGeoms = []struct {
+	label           string
+	perBank, rp, wp int
+}{
+	{"8 banks x 1 reg, 1R/1W", 1, 1, 1},
+	{"4 banks x 2 regs, 2R/1W (ref)", 2, 2, 1},
+	{"1 bank x 8 regs, 2R/1W", 8, 2, 1},
+}
+
+var regfileCtxs = []int{1, 2, 4}
+
+// vlenSpec is the queue run at the given register length.
+func vlenSpec(vlen, ctx int) QueueSpec {
+	rf := arch.DefaultRegFile()
+	rf.VLen = vlen
+	return QueueSpec{Contexts: ctx, Latency: 50, RegFile: rf}
+}
+
+// geomSpec is the queue run at the given bank geometry.
+func geomSpec(perBank, rp, wp, ctx int) QueueSpec {
+	rf := arch.DefaultRegFile()
+	rf.VRegsPerBank, rf.BankReadPorts, rf.BankWritePorts = perBank, rp, wp
+	return QueueSpec{Contexts: ctx, Latency: 50, RegFile: rf}
+}
+
+// partitionSpec is the Section 8 register-splitting run: one physical
+// 8-register file split across 2 contexts, code compiled for the
+// 4-register half each context sees.
+func partitionSpec() QueueSpec {
+	rf := arch.DefaultRegFile()
+	rf.VRegs = 4
+	return QueueSpec{Contexts: 2, Latency: 50, RegFile: rf, Partition: true}
+}
+
+// extRegfileSpecs enumerates every simulation point of the study.
+func extRegfileSpecs() []QueueSpec {
+	var specs []QueueSpec
+	for _, vlen := range regfileVLens {
+		for _, ctx := range regfileCtxs {
+			specs = append(specs, vlenSpec(vlen, ctx))
+		}
+	}
+	for _, g := range regfileGeoms {
+		for _, ctx := range regfileCtxs {
+			specs = append(specs, geomSpec(g.perBank, g.rp, g.wp, ctx))
+		}
+	}
+	specs = append(specs, partitionSpec())
+	return specs
+}
+
+// extRegfileExp is the register-file organization study.
+func extRegfileExp() Experiment {
+	return Experiment{
+		ID:         "ext-regfile",
+		Points:     func(e *Env) []func() error { return queuePoints(e, extRegfileSpecs()) },
+		Title:      "Extension: register-file organization study (vreg length x bank ports x contexts)",
+		PaperShape: "Section 8 prices the register file; shorter registers add strip overhead, fewer ports add conflicts, splitting trades capacity for contexts",
+		Run: func(e *Env) (*Result, error) {
+			ref := make(map[int]int64) // reference cycles per context count
+			for _, ctx := range regfileCtxs {
+				rep, err := e.QueueRun(vlenSpec(128, ctx))
+				if err != nil {
+					return nil, err
+				}
+				ref[ctx] = rep.Cycles
+			}
+			rel := func(cycles int64, ctx int) string {
+				return report.F(float64(cycles)/float64(ref[ctx]), 4)
+			}
+
+			vt := report.NewTable("Vector register length (8 regs, 2R/1W banks, queue at latency 50)",
+				"elements/reg", "contexts", "cycles", "vs 128-elem", "mem occ", "VOPC")
+			for _, vlen := range regfileVLens {
+				for _, ctx := range regfileCtxs {
+					rep, err := e.QueueRun(vlenSpec(vlen, ctx))
+					if err != nil {
+						return nil, err
+					}
+					vt.AddRow(report.I(int64(vlen)), report.I(int64(ctx)), report.I(rep.Cycles),
+						rel(rep.Cycles, ctx), report.Pct(rep.MemOccupation()), report.F(rep.VOPC(), 2))
+				}
+			}
+
+			gt := report.NewTable("Bank geometry (8 regs of 128 elements, queue at latency 50)",
+				"organization", "contexts", "cycles", "vs ref", "lost decode")
+			worstGeom := 1.0
+			for _, g := range regfileGeoms {
+				for _, ctx := range regfileCtxs {
+					rep, err := e.QueueRun(geomSpec(g.perBank, g.rp, g.wp, ctx))
+					if err != nil {
+						return nil, err
+					}
+					if r := float64(rep.Cycles) / float64(ref[ctx]); r > worstGeom {
+						worstGeom = r
+					}
+					gt.AddRow(g.label, report.I(int64(ctx)), report.I(rep.Cycles),
+						rel(rep.Cycles, ctx), report.I(rep.LostDecode))
+				}
+			}
+
+			pt := report.NewTable("Per-context register splitting (2 contexts, queue at latency 50)",
+				"register file", "regs/context", "cycles", "vs replicated")
+			repl, err := e.QueueRun(vlenSpec(128, 2))
+			if err != nil {
+				return nil, err
+			}
+			split, err := e.QueueRun(partitionSpec())
+			if err != nil {
+				return nil, err
+			}
+			pt.AddRow("replicated: 8 regs per context", report.I(8), report.I(repl.Cycles), "1.0000")
+			pt.AddRow("split: one 8-reg file, 4 per context", report.I(4), report.I(split.Cycles),
+				report.F(float64(split.Cycles)/float64(repl.Cycles), 4))
+
+			return &Result{
+				ID: "ext-regfile", Title: "Register-file organization study",
+				Tables: []*report.Table{vt, gt, pt},
+				Notes: []string{
+					"Workloads are recompiled per organization: shorter registers pay their own extra strip-mining control (the scalar fraction grows beyond the Table 3 calibration), longer ones amortize it.",
+					fmt.Sprintf("Bank geometry costs up to %.1f%% over the reference (a shared bank serializes operand reads); extra contexts hide most of it, the same latency-tolerance effect the paper shows for memory.", 100*(worstGeom-1)),
+					"Splitting one physical file across contexts (Section 8's cheaper alternative) costs cycles versus replication because 4-register code spills loads it could have hoisted — but it halves the register-file area for the second context.",
+				},
+			}, nil
+		},
+	}
+}

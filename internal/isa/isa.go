@@ -30,6 +30,13 @@ const (
 	NumVBanks      = NumV / VRegsPerBank
 	BankReadPorts  = 2
 	BankWritePorts = 1
+
+	// VRegLimit is the largest vector register count the ISA encoding
+	// can name. The constants above describe the reference Convex C3400
+	// shape; the arch layer (internal/arch) may declare machines with up
+	// to VRegLimit vector registers, and those machines enforce their
+	// own per-context limit at run time.
+	VRegLimit = 64
 )
 
 // VBank returns the register-bank index holding vector register v.

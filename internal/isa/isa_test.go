@@ -179,13 +179,13 @@ func TestValidateAcceptsWellFormed(t *testing.T) {
 func TestValidateRejectsMalformed(t *testing.T) {
 	bad := []Inst{
 		{Op: NumOps}, // unknown op
-		{Op: OpVAdd, Dst: S(0), Src1: V(1), Src2: V(2)}, // wrong dst class
-		{Op: OpVAdd, Dst: V(0), Src1: A(1), Src2: V(2)}, // wrong src class
-		{Op: OpVAdd, Dst: V(9), Src1: V(1), Src2: V(2)}, // reg out of range
-		{Op: OpSAdd, Dst: S(0), Src1: S(1)},             // missing src2
-		{Op: OpNop, Dst: S(0)},                          // extraneous dst
-		{Op: OpVLoad, Dst: V(0), Src1: S(1)},            // base must be A
-		{Op: OpMovI, Dst: S(0), Src2: S(1)},             // imm required
+		{Op: OpVAdd, Dst: S(0), Src1: V(1), Src2: V(2)},         // wrong dst class
+		{Op: OpVAdd, Dst: V(0), Src1: A(1), Src2: V(2)},         // wrong src class
+		{Op: OpVAdd, Dst: V(VRegLimit), Src1: V(1), Src2: V(2)}, // reg out of range
+		{Op: OpSAdd, Dst: S(0), Src1: S(1)},                     // missing src2
+		{Op: OpNop, Dst: S(0)},                                  // extraneous dst
+		{Op: OpVLoad, Dst: V(0), Src1: S(1)},                    // base must be A
+		{Op: OpMovI, Dst: S(0), Src2: S(1)},                     // imm required
 	}
 	for _, in := range bad {
 		if err := in.Validate(); err == nil {

@@ -102,7 +102,7 @@ func classMax(c RegClass) uint8 {
 	case ClassS:
 		return NumS
 	case ClassV:
-		return NumV
+		return VRegLimit
 	}
 	return 0
 }

@@ -32,8 +32,9 @@ type Stream struct {
 	// buf backs NextDec in source-driven mode.
 	buf DecodedInst
 
-	vl int64 // architectural vector length register
-	vs int64 // architectural vector stride register (bytes)
+	vl    int64 // architectural vector length register
+	vs    int64 // architectural vector stride register (bytes)
+	maxVL int64 // hardware vector length: SetVL values clamp to it
 
 	bb    int
 	idx   int
@@ -49,10 +50,22 @@ type Stream struct {
 }
 
 // NewStream creates a dynamic stream for p fed by src. The VL register
-// resets to MaxVL and the stride register to one element, the conventional
+// resets to the hardware vector length (isa.MaxVL, the reference
+// machine's) and the stride register to one element, the conventional
 // initial state.
 func NewStream(p *Program, src TraceSource) *Stream {
-	return &Stream{prog: p, src: src, vl: isa.MaxVL, vs: isa.ElemBytes}
+	return NewStreamVL(p, src, 0)
+}
+
+// NewStreamVL is NewStream for a machine whose vector registers hold
+// maxVL elements: the VL register resets to maxVL and SetVL values clamp
+// to it, exactly as the traced machine would have executed them. maxVL
+// <= 0 selects the reference isa.MaxVL.
+func NewStreamVL(p *Program, src TraceSource, maxVL int64) *Stream {
+	if maxVL <= 0 {
+		maxVL = isa.MaxVL
+	}
+	return &Stream{prog: p, src: src, vl: maxVL, maxVL: maxVL, vs: isa.ElemBytes}
 }
 
 // DecodedInst is a dynamic instruction plus its precomputed static
@@ -92,11 +105,17 @@ func NewDecodedStream(p *Program, insts []DecodedInst) *Stream {
 // instruction slice of length capacity hint n. It returns the slice and
 // the stream's terminal error, if any.
 func DecodeAll(p *Program, src TraceSource, n int64) ([]DecodedInst, error) {
+	return DecodeAllVL(p, src, n, 0)
+}
+
+// DecodeAllVL is DecodeAll at the given hardware vector length (see
+// NewStreamVL); maxVL <= 0 selects the reference isa.MaxVL.
+func DecodeAllVL(p *Program, src TraceSource, n, maxVL int64) ([]DecodedInst, error) {
 	if n < 0 {
 		n = 0
 	}
 	dec := make([]DecodedInst, 0, n)
-	s := NewStream(p, src)
+	s := NewStreamVL(p, src, maxVL)
 	var d DecodedInst
 	for s.Next(&d.DynInst) {
 		d.decodeAux()
@@ -186,8 +205,8 @@ func (s *Stream) Next(d *isa.DynInst) bool {
 			if v < 1 {
 				v = 1
 			}
-			if v > isa.MaxVL {
-				v = isa.MaxVL
+			if v > s.maxVL {
+				v = s.maxVL
 			}
 			s.vl = v
 			d.SetVal = s.vl

@@ -2,10 +2,12 @@ package session
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"mtvec/internal/arch"
 	"mtvec/internal/core"
 	"mtvec/internal/workload"
 )
@@ -66,6 +68,13 @@ func TestMemoKeyCanonical(t *testing.T) {
 		"stop":     keyOf(t, Solo(w, WithMaxCycles(100))),
 		"insts":    keyOf(t, Solo(w, WithMaxThread0Insts(10))),
 		"queue":    keyOf(t, Queue([]*workload.Workload{w})),
+		"vlen":     keyOf(t, Solo(w, WithVLen(64))),
+		"bankport": keyOf(t, Solo(w, WithBankPorts(1, 1))),
+		"regfile":  keyOf(t, Solo(w, WithRegFile(arch.RegFile{VRegs: 8, VLen: 128, VRegsPerBank: 1, BankReadPorts: 2, BankWritePorts: 1}))),
+		"arch":     keyOf(t, Solo(w, WithArch(arch.VP2000()), WithVLen(128))),
+		"partition": keyOf(t, Solo(w, WithRegFile(arch.RegFile{
+			VRegs: 8, VLen: 128, VRegsPerBank: 2, BankReadPorts: 2, BankWritePorts: 1, PartitionPerContext: true,
+		}))),
 	}
 	seen := map[string]string{}
 	for name, key := range distinct {
@@ -73,6 +82,17 @@ func TestMemoKeyCanonical(t *testing.T) {
 			t.Errorf("%s and %s share a memo key: %s", name, prev, key)
 		}
 		seen[key] = name
+	}
+
+	// The defaulted shape and its explicit spellings are the same
+	// machine, so they must share one memo entry.
+	for name, spec := range map[string]RunSpec{
+		"explicit preset":  Solo(w, WithArch(arch.ConvexC3400())),
+		"explicit regfile": Solo(w, WithRegFile(arch.DefaultRegFile())),
+	} {
+		if keyOf(t, spec) != distinct["base"] {
+			t.Errorf("%s of the reference shape keyed differently from the default", name)
+		}
 	}
 }
 
@@ -122,6 +142,53 @@ func TestCancelDoesNotPoisonCache(t *testing.T) {
 	}
 	if n := s.Simulations(); n != 1 {
 		t.Fatalf("simulations = %d, want 1 (cancelled attempt never simulated)", n)
+	}
+}
+
+// TestSpecSharedAcrossConcurrentSessions pins the arch.Spec reuse
+// contract: one Spec value (and one RunSpec built from it) may back any
+// number of concurrent Sessions, every run sees the same machine, and
+// no run mutates the shared value. Run with -race in CI.
+func TestSpecSharedAcrossConcurrentSessions(t *testing.T) {
+	w := testWorkload(t)
+	shape := arch.ConvexC3400()
+	shape.VLen = 128
+	shape.Mem.Latency = 30
+	want := shape // the value no run may disturb
+
+	const sessions = 4
+	reps := make([]*struct {
+		cycles int64
+		err    error
+	}, sessions)
+	var wg sync.WaitGroup
+	for i := range reps {
+		reps[i] = &struct {
+			cycles int64
+			err    error
+		}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := New().Run(context.Background(), Solo(w, WithArch(shape)))
+			if err != nil {
+				reps[i].err = err
+				return
+			}
+			reps[i].cycles = rep.Cycles
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range reps {
+		if r.err != nil {
+			t.Fatalf("session %d: %v", i, r.err)
+		}
+		if r.cycles != reps[0].cycles {
+			t.Fatalf("session %d diverged: %d vs %d cycles", i, r.cycles, reps[0].cycles)
+		}
+	}
+	if !reflect.DeepEqual(shape, want) {
+		t.Fatal("a run mutated the shared arch.Spec")
 	}
 }
 

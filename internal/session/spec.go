@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mtvec/internal/arch"
 	"mtvec/internal/core"
 	"mtvec/internal/memsys"
 	"mtvec/internal/sched"
@@ -144,15 +145,76 @@ func WithConfig(cfg core.Config) Option {
 	}
 }
 
-// WithContexts sets the number of hardware contexts (1..core.MaxContexts).
+// WithContexts sets the number of hardware contexts. The upper bound is
+// the machine shape's MaxContexts (8 on the reference architecture),
+// checked when the spec validates — after every option, including a
+// later WithArch, has applied.
 func WithContexts(n int) Option {
 	return func(b *build) {
-		if n < 1 || n > core.MaxContexts {
-			b.errf("session: contexts %d out of range 1..%d", n, core.MaxContexts)
+		if n < 1 {
+			b.errf("session: contexts %d out of range (need at least 1)", n)
 			return
 		}
 		b.cfg.Contexts = n
 		b.contextsSet = true
+	}
+}
+
+// WithArch replaces the whole machine shape — register file, functional
+// unit mix, latency table and memory system — with the given spec
+// (usually a preset: arch.ConvexC3400, arch.VP2000, arch.CrayLikePorts,
+// or a modified copy). Granular options given after it still apply on
+// top, so WithArch(spec) + WithMemLatency(80) is the spec at 80-cycle
+// memory.
+func WithArch(spec arch.Spec) Option {
+	return func(b *build) {
+		if spec.IsZero() {
+			b.errf("session: zero arch spec (start from a preset like arch.ConvexC3400)")
+			return
+		}
+		b.cfg.Spec = spec
+	}
+}
+
+// WithRegFile sets the vector register file organization (count, length,
+// banking, ports, partitioning) while keeping the rest of the machine
+// shape. Workloads must be built for the same compiler-visible
+// organization (BuildWorkloadsRegFile / vcomp.Options.RegFile) when it
+// changes the register count or length.
+func WithRegFile(rf arch.RegFile) Option {
+	return func(b *build) {
+		if rf.IsZero() {
+			b.errf("session: zero register-file organization")
+			return
+		}
+		b.cfg.RegFile = rf
+	}
+}
+
+// WithVLen sets the vector register length in elements (the Section 8
+// study's central register-file axis), keeping the rest of the
+// organization.
+func WithVLen(n int) Option {
+	return func(b *build) {
+		if n < 1 {
+			b.errf("session: vector length %d < 1", n)
+			return
+		}
+		b.cfg.RegFile = b.cfg.RegFile.Normalize()
+		b.cfg.VLen = n
+	}
+}
+
+// WithBankPorts sets each register bank's read and write ports into the
+// crossbars (the reference machine has 2 read, 1 write).
+func WithBankPorts(read, write int) Option {
+	return func(b *build) {
+		if read < 1 || write < 1 {
+			b.errf("session: bank ports need at least 1 read and 1 write, have %d/%d", read, write)
+			return
+		}
+		b.cfg.RegFile = b.cfg.RegFile.Normalize()
+		b.cfg.BankReadPorts, b.cfg.BankWritePorts = read, write
 	}
 }
 
@@ -393,9 +455,10 @@ func (s RunSpec) prepare() (plan, error) {
 		b.errf("session: spec has no mode; build it with Solo, Group, Queue or Compiled")
 	}
 
-	if b.cfg.IssueWidth == 0 {
-		b.cfg.IssueWidth = 1
-	}
+	// Normalize before validating and keying: a defaulted shape and its
+	// explicit arch.ConvexC3400() spelling are the same machine, so they
+	// must share a memo entry.
+	b.cfg = b.cfg.Normalized()
 	if len(b.errs) == 0 {
 		if err := b.cfg.Validate(); err != nil {
 			b.errs = append(b.errs, err)
@@ -461,6 +524,20 @@ func (s RunSpec) memoKey(p *plan, idOf func(any) uint64) string {
 	}
 	b = append(b, "|ctx="...)
 	num(int64(p.cfg.Contexts))
+	b = append(b, "|rf="...)
+	rf := &p.cfg.RegFile
+	num(int64(rf.VRegs))
+	num(int64(rf.VLen))
+	num(int64(rf.VRegsPerBank))
+	num(int64(rf.BankReadPorts))
+	num(int64(rf.BankWritePorts))
+	if rf.PartitionPerContext {
+		b = append(b, 'p')
+	}
+	b = append(b, "|fu="...)
+	num(int64(p.cfg.RestrictedFUs))
+	num(int64(p.cfg.GeneralFUs))
+	num(int64(p.cfg.MaxContexts))
 	b = append(b, "|lat="...)
 	lat := &p.cfg.Lat
 	for _, tab := range [][]int{lat.ScalarInt[:], lat.ScalarFP[:], lat.Vector[:]} {

@@ -34,6 +34,13 @@ type Trace struct {
 	Strides []int64
 	Addrs   []uint64
 
+	// MaxVL is the hardware vector length of the machine the trace was
+	// generated for: replays reset the VL register to it and clamp SetVL
+	// values against it. 0 means the reference isa.MaxVL. The field is
+	// runtime-only (the on-disk format does not carry it; decoded traces
+	// replay at the reference length).
+	MaxVL int64
+
 	decOnce sync.Once
 	dec     []prog.DecodedInst // predecoded dynamic stream, nil if unavailable
 }
@@ -61,7 +68,7 @@ func (t *Trace) Stream() *prog.Stream {
 	if dec := t.Decoded(); dec != nil {
 		return prog.NewDecodedStream(t.Prog, dec)
 	}
-	return prog.NewStream(t.Prog, t.Source())
+	return prog.NewStreamVL(t.Prog, t.Source(), t.MaxVL)
 }
 
 // dynLen returns the trace's dynamic instruction count, without decoding.
@@ -95,7 +102,7 @@ func (t *Trace) Decoded() []prog.DecodedInst {
 		if n == 0 || n > maxDecodedInsts {
 			return
 		}
-		dec, err := prog.DecodeAll(t.Prog, t.Source(), n)
+		dec, err := prog.DecodeAllVL(t.Prog, t.Source(), n, t.MaxVL)
 		if err != nil {
 			return // let the streaming path surface the error
 		}

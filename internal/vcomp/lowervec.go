@@ -3,6 +3,7 @@ package vcomp
 import (
 	"fmt"
 
+	"mtvec/internal/arch"
 	"mtvec/internal/isa"
 	"mtvec/internal/kernel"
 	"mtvec/internal/prog"
@@ -52,6 +53,9 @@ type vlower struct {
 	insts []isa.Inst
 	slots []slot
 
+	rf     arch.RegFile
+	budget int // registers hoisted loads may hold (hoistBudget at default shape)
+
 	regs  vregAlloc
 	sregs *sregAlloc
 
@@ -69,13 +73,20 @@ type vlower struct {
 // lowerVector lowers one vector loop, appending its entry/body/tail blocks
 // to p.
 func lowerVector(p *prog.Program, l *kernel.VectorLoop, opts Options) (*unitCode, error) {
+	rf := opts.RegFile.Normalize()
 	lo := &vlower{
-		loop:  l,
-		sregs: newSRegAlloc(),
-		uses:  make(map[*kernel.Array]int),
-		cache: make(map[*kernel.Array]uint8),
-		abase: make(map[*kernel.Array]uint8),
-		anext: aBaseLo,
+		loop:   l,
+		rf:     rf,
+		budget: rf.VRegs - (isa.NumV - hoistBudget),
+		sregs:  newSRegAlloc(),
+		uses:   make(map[*kernel.Array]int),
+		cache:  make(map[*kernel.Array]uint8),
+		abase:  make(map[*kernel.Array]uint8),
+		anext:  aBaseLo,
+	}
+	lo.regs.setShape(rf)
+	if lo.budget < 0 {
+		lo.budget = 0
 	}
 	lo.countUses()
 
@@ -136,7 +147,7 @@ func lowerVector(p *prog.Program, l *kernel.VectorLoop, opts Options) (*unitCode
 	body := prog.BasicBlock{Label: l.Name + ".body"}
 	body.Insts = append(body.Insts, lo.insts...)
 	body.Insts = append(body.Insts,
-		isa.Inst{Op: isa.OpAAdd, Dst: isa.A(regIndex), Src1: isa.A(regIndex), Src2: isa.Imm(), Imm: isa.MaxVL * isa.ElemBytes},
+		isa.Inst{Op: isa.OpAAdd, Dst: isa.A(regIndex), Src1: isa.A(regIndex), Src2: isa.Imm(), Imm: int64(rf.VLen) * isa.ElemBytes},
 		isa.Inst{Op: isa.OpAAdd, Dst: isa.A(regCount), Src1: isa.A(regCount), Src2: isa.Imm(), Imm: -1},
 		isa.Inst{Op: isa.OpBr, Src1: isa.A(regCount)},
 	)
@@ -165,8 +176,9 @@ func lowerVector(p *prog.Program, l *kernel.VectorLoop, opts Options) (*unitCode
 	return uc, nil
 }
 
-// hoistBudget caps registers held by hoisted loads, leaving room for
-// expression temporaries.
+// hoistBudget caps registers held by hoisted loads on the default
+// register file, leaving 3 registers for expression temporaries; other
+// shapes scale the budget with their register count (vlower.budget).
 const hoistBudget = isa.NumV - 3
 
 // hoistLoads materializes statement operands early, in statement order.
@@ -177,7 +189,7 @@ func (lo *vlower) hoistLoads() error {
 	stored := make(map[*kernel.Array]bool)
 	var err error
 	hoist := func(a *kernel.Array) {
-		if err != nil || stored[a] || lo.regs.liveCount() >= hoistBudget {
+		if err != nil || stored[a] || lo.regs.liveCount() >= lo.budget {
 			return
 		}
 		if _, ok := lo.cache[a]; ok {

@@ -3,28 +3,45 @@ package vcomp
 import (
 	"fmt"
 
+	"mtvec/internal/arch"
 	"mtvec/internal/isa"
 )
 
-// vregAlloc hands out the eight vector registers. Allocation prefers the
-// register bank with the fewest live registers so that concurrently-live
-// operands spread across banks — each bank has only two read ports and
-// one write port, and the paper makes the compiler responsible for
-// keeping port conflicts rare.
+// vregAlloc hands out the target shape's vector registers. Allocation
+// prefers the register bank with the fewest live registers so that
+// concurrently-live operands spread across banks — banks have few read
+// ports and fewer write ports, and the paper makes the compiler
+// responsible for keeping port conflicts rare. The zero value allocates
+// the default (Convex) file; setShape retargets it.
 type vregAlloc struct {
-	live [isa.NumV]bool
+	live    [arch.MaxVRegs]bool
+	n       int // registers in the file (0 = default isa.NumV)
+	perBank int
+}
+
+// setShape retargets the allocator to the given register file.
+func (a *vregAlloc) setShape(rf arch.RegFile) {
+	a.n, a.perBank = rf.VRegs, rf.VRegsPerBank
+}
+
+func (a *vregAlloc) shape() (n, perBank int) {
+	if a.n == 0 {
+		return isa.NumV, isa.VRegsPerBank
+	}
+	return a.n, a.perBank
 }
 
 func (a *vregAlloc) alloc() (uint8, error) {
+	n, perBank := a.shape()
 	best := -1
-	bestBankLoad := isa.VRegsPerBank + 1
-	for r := 0; r < isa.NumV; r++ {
+	bestBankLoad := perBank + 1
+	for r := 0; r < n; r++ {
 		if a.live[r] {
 			continue
 		}
 		load := 0
-		bank := isa.VBank(uint8(r))
-		for q := bank * isa.VRegsPerBank; q < (bank+1)*isa.VRegsPerBank; q++ {
+		bank := r / perBank
+		for q := bank * perBank; q < (bank+1)*perBank && q < n; q++ {
 			if a.live[q] {
 				load++
 			}
@@ -34,7 +51,7 @@ func (a *vregAlloc) alloc() (uint8, error) {
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("vector register pressure exceeds %d registers; split the statement", isa.NumV)
+		return 0, fmt.Errorf("vector register pressure exceeds %d registers; split the statement", n)
 	}
 	a.live[best] = true
 	return uint8(best), nil

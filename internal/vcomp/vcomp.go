@@ -14,7 +14,7 @@ package vcomp
 import (
 	"fmt"
 
-	"mtvec/internal/isa"
+	"mtvec/internal/arch"
 	"mtvec/internal/kernel"
 	"mtvec/internal/prog"
 	"mtvec/internal/trace"
@@ -27,7 +27,17 @@ type Compiled struct {
 	Kernel *kernel.Kernel
 
 	units []*unitCode
+
+	// rf is the register-file organization the code was compiled for;
+	// vlen caches its strip length.
+	rf   arch.RegFile
+	vlen int64
 }
+
+// RegFile returns the register-file organization the kernel was compiled
+// for (the strip-mining length, register count and banking the code
+// assumes).
+func (c *Compiled) RegFile() arch.RegFile { return c.rf }
 
 // unitCode records the lowering of one kernel unit.
 type unitCode struct {
@@ -76,6 +86,15 @@ type Options struct {
 	// chain loads into functional units; the ext-compiler experiment
 	// quantifies how much that scheduling is worth.
 	NoHoist bool
+
+	// RegFile targets the compilation at a vector register file
+	// organization: loops strip-mine by its VLen, and the register
+	// allocator spreads across its banks within its register count. The
+	// zero value targets the default (Convex) organization; traces from
+	// a non-default compilation carry the matching hardware vector
+	// length (trace.Trace.MaxVL), and machines must be configured with
+	// the same organization (session.WithRegFile) to run them.
+	RegFile arch.RegFile
 }
 
 // Compile lowers k with default options.
@@ -89,9 +108,15 @@ func CompileOpts(k *kernel.Kernel, opts Options) (*Compiled, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
+	opts.RegFile = opts.RegFile.Normalize()
+	if err := opts.RegFile.Validate(); err != nil {
+		return nil, fmt.Errorf("vcomp: %s: %w", k.Name, err)
+	}
 	c := &Compiled{
 		Prog:   &prog.Program{Name: k.Name},
 		Kernel: k,
+		rf:     opts.RegFile,
+		vlen:   int64(opts.RegFile.VLen),
 	}
 	for _, u := range k.Units {
 		var uc *unitCode
@@ -139,9 +164,14 @@ func (c *Compiled) AppendTrace(tr *trace.Trace, inv Invocation) error {
 	if inv.N == 0 {
 		return nil
 	}
+	// Replays must run at the compilation's hardware vector length;
+	// record the largest one contributing to the trace.
+	if tr.MaxVL < c.vlen {
+		tr.MaxVL = c.vlen
+	}
 	u := c.units[inv.Unit]
 	if isVectorUnit(u) {
-		emitVectorUnit(tr, u, inv.N)
+		c.emitVectorUnit(tr, u, inv.N)
 	} else {
 		emitScalarUnit(tr, u, inv.N)
 	}
@@ -156,7 +186,7 @@ func (c *Compiled) Trace(schedule []Invocation) (*trace.Trace, error) {
 		if inv.Unit < 0 || inv.Unit >= len(c.units) || inv.N <= 0 {
 			continue // AppendTrace reports invalid invocations below
 		}
-		b, v, s, a := sizeInvocation(c.units[inv.Unit], inv.N)
+		b, v, s, a := c.sizeInvocation(c.units[inv.Unit], inv.N)
 		bbs, vls, strides, addrs = bbs+b, vls+v, strides+s, addrs+a
 	}
 	tr := &trace.Trace{
@@ -165,6 +195,7 @@ func (c *Compiled) Trace(schedule []Invocation) (*trace.Trace, error) {
 		VLs:     make([]int64, 0, vls),
 		Strides: make([]int64, 0, strides),
 		Addrs:   make([]uint64, 0, addrs),
+		MaxVL:   c.vlen,
 	}
 	for _, inv := range schedule {
 		if err := c.AppendTrace(tr, inv); err != nil {
@@ -191,14 +222,14 @@ func countSlots(slots []slot) (vls, strides, addrs int64) {
 
 // sizeInvocation returns the exact stream entry counts one invocation of
 // u appends, mirroring emitVectorUnit/emitScalarUnit.
-func sizeInvocation(u *unitCode, n int64) (bbs, vls, strides, addrs int64) {
+func (c *Compiled) sizeInvocation(u *unitCode, n int64) (bbs, vls, strides, addrs int64) {
 	ev, es, ea := countSlots(u.entrySlots)
 	bv, bs, ba := countSlots(u.bodySlots)
 	if !isVectorUnit(u) {
 		return 1 + n, ev + n*bv, es + n*bs, ea + n*ba
 	}
-	f := n / isa.MaxVL
-	rem := n % isa.MaxVL
+	f := n / c.vlen
+	rem := n % c.vlen
 	bbs, vls, strides, addrs = 1+f, ev+f*bv, es+f*bs, ea+f*ba
 	if rem > 0 {
 		tv, ts, ta := countSlots(u.tailSlots)
@@ -210,11 +241,11 @@ func sizeInvocation(u *unitCode, n int64) (bbs, vls, strides, addrs int64) {
 func isVectorUnit(u *unitCode) bool { return u.tail >= 0 }
 
 // emitVectorUnit emits entry, f full strips and an optional remainder.
-func emitVectorUnit(tr *trace.Trace, u *unitCode, n int64) {
-	f := n / isa.MaxVL
-	rem := n % isa.MaxVL
+func (c *Compiled) emitVectorUnit(tr *trace.Trace, u *unitCode, n int64) {
+	f := n / c.vlen
+	rem := n % c.vlen
 
-	entryVL := int64(isa.MaxVL)
+	entryVL := c.vlen
 	if f == 0 {
 		entryVL = rem
 	}
@@ -223,11 +254,11 @@ func emitVectorUnit(tr *trace.Trace, u *unitCode, n int64) {
 
 	for k := int64(0); k < f; k++ {
 		tr.BBs = append(tr.BBs, int32(u.body))
-		emitSlots(tr, u.bodySlots, isa.MaxVL, k*isa.MaxVL)
+		emitSlots(tr, u.bodySlots, c.vlen, k*c.vlen)
 	}
 	if rem > 0 {
 		tr.BBs = append(tr.BBs, int32(u.tail))
-		emitSlots(tr, u.tailSlots, rem, f*isa.MaxVL)
+		emitSlots(tr, u.tailSlots, rem, f*c.vlen)
 	}
 }
 
@@ -272,11 +303,11 @@ func (c *Compiled) EstimateInvocation(unit int, n int64) (scalar, vec, vecOps in
 	if !isVectorUnit(u) {
 		return u.entryScalar + n*u.bodyScalar, 0, 0
 	}
-	f := n / isa.MaxVL
-	rem := n % isa.MaxVL
+	f := n / c.vlen
+	rem := n % c.vlen
 	scalar = u.entryScalar + f*u.bodyScalar
 	vec = f * u.bodyVec
-	vecOps = f * u.bodyVec * isa.MaxVL
+	vecOps = f * u.bodyVec * c.vlen
 	if rem > 0 {
 		scalar += u.tailScalar
 		vec += u.tailVec

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 
+	"mtvec/internal/isa"
 	"mtvec/internal/vcomp"
 )
 
@@ -74,8 +75,16 @@ func plan(c *vcomp.Compiled, s *Spec, phases []phase, scale float64) ([]vcomp.In
 	}
 	residual := scalarTarget - scalarSpent
 	if residual < -0.10*scalarTarget {
-		return nil, fmt.Errorf("vector loop control overhead (%.0f) exceeds scalar budget (%.0f); enlarge loop bodies",
-			scalarSpent, scalarTarget)
+		// At the reference vector length this means the recipe's loop
+		// bodies are too small for the program being modelled — a bug in
+		// the recipe. At a swept (shorter) register length the extra
+		// strip-control overhead is the modelled machine's own cost:
+		// keep the schedule and let the workload carry the higher scalar
+		// fraction, which is exactly what short registers do.
+		if c.RegFile().VLen == isa.MaxVL {
+			return nil, fmt.Errorf("vector loop control overhead (%.0f) exceeds scalar budget (%.0f); enlarge loop bodies",
+				scalarSpent, scalarTarget)
+		}
 	}
 	sc1, _, _ := c.EstimateInvocation(serial, 1)
 	sc2, _, _ := c.EstimateInvocation(serial, 2)

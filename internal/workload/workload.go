@@ -90,7 +90,7 @@ func (s *Spec) BuildOpts(scale float64, opts vcomp.Options) (*Workload, error) {
 	// source path, leaving the trace's predecode cache to the first run
 	// that actually streams it (build-only consumers like the Table 3
 	// counts never pay for materialization).
-	_, st, err := prog.NewStream(tr.Prog, tr.Source()).Drain()
+	_, st, err := prog.NewStreamVL(tr.Prog, tr.Source(), tr.MaxVL).Drain()
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: generated trace does not replay: %w", s.Name, err)
 	}

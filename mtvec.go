@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"io"
 
+	"mtvec/internal/arch"
 	"mtvec/internal/core"
 	"mtvec/internal/experiments"
 	"mtvec/internal/isa"
@@ -85,7 +86,38 @@ type (
 	MemConfig = memsys.Config
 	// Policy is a thread-switch policy.
 	Policy = sched.Policy
+	// ArchSpec is a declarative machine shape: register file, FU mix,
+	// latencies, memory. Config embeds one; see docs/ARCH.md.
+	ArchSpec = arch.Spec
+	// RegFile is a vector register file organization (count, length,
+	// banking, ports, partitioning).
+	RegFile = arch.RegFile
 )
+
+// Machine-shape presets (see docs/ARCH.md).
+
+// ArchConvexC3400 returns the reference shape — the paper's machine, and
+// the default of every Config and RunSpec.
+func ArchConvexC3400() ArchSpec { return arch.ConvexC3400() }
+
+// ArchVP2000 returns the Fujitsu VP2000-style shape of the Section 9
+// comparison (large reconfigurable register file, two general pipes).
+func ArchVP2000() ArchSpec { return arch.VP2000() }
+
+// ArchCrayLikePorts returns the Section 10 Cray-like variant: short
+// single-ported registers over 2-load/1-store memory ports.
+func ArchCrayLikePorts() ArchSpec { return arch.CrayLikePorts() }
+
+// ArchPresets returns the named machine shapes, reference first.
+func ArchPresets() []ArchSpec { return arch.Presets() }
+
+// ArchByName returns the preset with the given name ("convex-c3400",
+// "vp2000", "cray-ports"), or false.
+func ArchByName(name string) (ArchSpec, bool) { return arch.ByName(name) }
+
+// DefaultRegFile returns the reference register-file organization: 8
+// registers of 128 elements, paired into 4 banks with 2R/1W ports.
+func DefaultRegFile() RegFile { return arch.DefaultRegFile() }
 
 // Workloads.
 type (
@@ -210,6 +242,15 @@ func RunExperimentsContext(ctx context.Context, env *Env, exps []Experiment, job
 // names) concurrently on at most jobs workers, preserving input order.
 // All names are validated before any build starts.
 func BuildWorkloads(tags []string, scale float64, jobs int) ([]*Workload, error) {
+	return BuildWorkloadsRegFile(tags, scale, jobs, RegFile{})
+}
+
+// BuildWorkloadsRegFile is BuildWorkloads with the compiler targeted at
+// the given register-file organization (strip-mining length, register
+// count, bank spread). The zero RegFile targets the reference
+// organization. Run the results on a machine configured with the same
+// organization (WithRegFile or WithArch).
+func BuildWorkloadsRegFile(tags []string, scale float64, jobs int, rf RegFile) ([]*Workload, error) {
 	specs := make([]*WorkloadSpec, len(tags))
 	for i, tag := range tags {
 		spec := workload.ByShort(tag)
@@ -221,10 +262,11 @@ func BuildWorkloads(tags []string, scale float64, jobs int) ([]*Workload, error)
 		}
 		specs[i] = spec
 	}
+	opts := vcomp.Options{RegFile: rf}
 	ws := make([]*Workload, len(tags))
 	pool := runner.New(jobs)
 	err := pool.Map(len(tags), func(i int) error {
-		w, err := specs[i].Build(scale)
+		w, err := specs[i].BuildOpts(scale, opts)
 		ws[i] = w
 		return err
 	})

@@ -97,8 +97,27 @@ func CompiledRun(c *Compiled, schedule []Invocation, opts ...RunOption) RunSpec 
 // options given after it still apply on top.
 func WithConfig(cfg Config) RunOption { return session.WithConfig(cfg) }
 
-// WithContexts sets the hardware context count (1..8).
+// WithContexts sets the hardware context count (the upper bound is the
+// machine shape's MaxContexts; 8 on the reference architecture).
 func WithContexts(n int) RunOption { return session.WithContexts(n) }
+
+// WithArch replaces the whole machine shape with the given spec (a
+// preset like ArchConvexC3400/ArchVP2000/ArchCrayLikePorts, or a
+// modified copy). Granular options given after it still apply on top.
+func WithArch(spec ArchSpec) RunOption { return session.WithArch(spec) }
+
+// WithRegFile sets the vector register file organization; build the
+// workloads for the same organization (BuildWorkloadsRegFile) when it
+// changes the register count or length.
+func WithRegFile(rf RegFile) RunOption { return session.WithRegFile(rf) }
+
+// WithVLen sets the vector register length in elements (the Section 8
+// register-file study's central axis).
+func WithVLen(n int) RunOption { return session.WithVLen(n) }
+
+// WithBankPorts sets each register bank's read and write ports into the
+// crossbars (the reference machine has 2 read, 1 write).
+func WithBankPorts(read, write int) RunOption { return session.WithBankPorts(read, write) }
 
 // WithMemLatency sets the main-memory latency in cycles.
 func WithMemLatency(cycles int) RunOption { return session.WithMemLatency(cycles) }
