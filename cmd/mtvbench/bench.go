@@ -237,6 +237,12 @@ type CompareFile struct {
 	GeomeanRatio float64 `json:"geomean_ratio"` // new/old ns per op; <1 is faster
 	MaxRegress   float64 `json:"max_regress"`
 
+	// Dropped lists benchmarks excluded from the geomean, with the
+	// reason: present in only one artifact, or a non-positive/non-finite
+	// ns/op that would poison the ratio. The gate compares the
+	// intersection only, but never silently.
+	Dropped []string `json:"dropped,omitempty"`
+
 	Benchmarks []CompareResult `json:"benchmarks"`
 }
 
@@ -264,9 +270,20 @@ func loadBenchFile(path string) (*BenchFile, error) {
 	return &f, nil
 }
 
-// compareBench diffs two bench files over their common benchmarks and
-// returns the comparison plus an error when the geomean ns/op regression
-// exceeds maxRegress.
+// usableNs reports whether an ns/op sample can participate in a
+// geometric mean: positive and finite. A zero, negative, NaN or Inf
+// entry (a hand-edited or truncated artifact) would otherwise skew the
+// ratio — log(NaN) poisons the whole geomean silently.
+func usableNs(ns float64) bool {
+	return ns > 0 && !math.IsInf(ns, 0) && !math.IsNaN(ns)
+}
+
+// compareBench diffs two bench files over the intersection of their
+// benchmarks and returns the comparison plus an error when the geomean
+// ns/op regression exceeds maxRegress. Benchmarks present in only one
+// artifact, or carrying unusable ns/op values, are excluded from the
+// geomean and reported by name in Dropped — a mismatched set narrows
+// the comparison, visibly, instead of skewing or crashing it.
 func compareBench(oldPath, newPath string, maxRegress float64) (*CompareFile, error) {
 	oldF, err := loadBenchFile(oldPath)
 	if err != nil {
@@ -286,10 +303,17 @@ func compareBench(oldPath, newPath string, maxRegress float64) (*CompareFile, er
 		NewRef:      newF.Ref,
 		MaxRegress:  maxRegress,
 	}
+	newNames := make(map[string]bool, len(newF.Benchmarks))
 	var logSum float64
 	for _, nb := range newF.Benchmarks {
+		newNames[nb.Name] = true
 		ob, ok := oldBy[nb.Name]
-		if !ok || ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+		switch {
+		case !ok:
+			cmp.Dropped = append(cmp.Dropped, nb.Name+" (missing from "+oldPath+")")
+			continue
+		case !usableNs(ob.NsPerOp) || !usableNs(nb.NsPerOp):
+			cmp.Dropped = append(cmp.Dropped, fmt.Sprintf("%s (unusable ns/op: old %v, new %v)", nb.Name, ob.NsPerOp, nb.NsPerOp))
 			continue
 		}
 		ratio := nb.NsPerOp / ob.NsPerOp
@@ -299,8 +323,14 @@ func compareBench(oldPath, newPath string, maxRegress float64) (*CompareFile, er
 		})
 		logSum += math.Log(ratio)
 	}
+	for _, ob := range oldF.Benchmarks {
+		if !newNames[ob.Name] {
+			cmp.Dropped = append(cmp.Dropped, ob.Name+" (missing from "+newPath+")")
+		}
+	}
+	sort.Strings(cmp.Dropped)
 	if len(cmp.Benchmarks) == 0 {
-		return nil, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+		return nil, fmt.Errorf("no common comparable benchmarks between %s and %s (%d dropped)", oldPath, newPath, len(cmp.Dropped))
 	}
 	sort.Slice(cmp.Benchmarks, func(i, j int) bool { return cmp.Benchmarks[i].Name < cmp.Benchmarks[j].Name })
 	cmp.GeomeanRatio = math.Exp(logSum / float64(len(cmp.Benchmarks)))
@@ -317,8 +347,11 @@ func runBenchCompare(w io.Writer, oldPath, newPath, outPath string, maxRegress f
 	for _, b := range cmp.Benchmarks {
 		fmt.Fprintf(w, "%-18s %14.0f %14.0f %8.2fx\n", b.Name, b.OldNs, b.NewNs, b.Speedup)
 	}
-	fmt.Fprintf(w, "\ngeomean: %.3fx speedup (ratio %.3f, gate: ratio <= %.3f)\n",
-		1/cmp.GeomeanRatio, cmp.GeomeanRatio, 1+maxRegress)
+	for _, d := range cmp.Dropped {
+		fmt.Fprintf(w, "dropped: %s\n", d)
+	}
+	fmt.Fprintf(w, "\ngeomean over %d benchmark(s): %.3fx speedup (ratio %.3f, gate: ratio <= %.3f)\n",
+		len(cmp.Benchmarks), 1/cmp.GeomeanRatio, cmp.GeomeanRatio, 1+maxRegress)
 	if outPath != "" {
 		data, err := json.MarshalIndent(cmp, "", "  ")
 		if err != nil {

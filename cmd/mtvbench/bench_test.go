@@ -70,6 +70,58 @@ func TestBenchCompareGate(t *testing.T) {
 	}
 }
 
+// TestBenchCompareIntersection: mismatched benchmark sets and
+// unusable ns/op entries must be excluded from the geomean and listed
+// by name, not skew (or NaN-poison) the ratio.
+func TestBenchCompareIntersection(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBenchFile(t, dir, "old.json", "old", map[string]float64{
+		"a": 100, "b": 200, "gone": 70, "zero": 0,
+	})
+	newP := writeBenchFile(t, dir, "new.json", "new", map[string]float64{
+		"a": 100, "b": 200, "added": 30, "zero": 50, "neg": -5,
+	})
+	cmp, err := compareBench(oldP, newP, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only a and b are comparable; their ratio is exactly 1.
+	if len(cmp.Benchmarks) != 2 || math.Abs(cmp.GeomeanRatio-1.0) > 1e-9 {
+		t.Fatalf("compared %d benchmarks, geomean %v; want 2 at 1.0", len(cmp.Benchmarks), cmp.GeomeanRatio)
+	}
+	if math.IsNaN(cmp.GeomeanRatio) {
+		t.Fatal("geomean poisoned by unusable entry")
+	}
+	wantDropped := []string{"added", "gone", "zero", "neg"}
+	if len(cmp.Dropped) != len(wantDropped) {
+		t.Fatalf("dropped %v, want %d entries", cmp.Dropped, len(wantDropped))
+	}
+	joined := strings.Join(cmp.Dropped, "\n")
+	for _, name := range wantDropped {
+		if !strings.Contains(joined, name) {
+			t.Errorf("dropped list missing %q: %v", name, cmp.Dropped)
+		}
+	}
+	// The rendered table reports them too, and the gate still applies.
+	var buf bytes.Buffer
+	if err := runBenchCompare(&buf, oldP, newP, "", 0.10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dropped: gone (missing from") {
+		t.Errorf("dropped names not rendered:\n%s", buf.String())
+	}
+
+	// Unusable values in every common benchmark must fail loudly, not
+	// divide by zero or pass vacuously. (NaN/Inf cannot survive a JSON
+	// artifact, but usableNs guards them anyway for robustness.)
+	allBad := writeBenchFile(t, dir, "bad.json", "bad", map[string]float64{
+		"a": 0, "b": -5,
+	})
+	if _, err := compareBench(oldP, allBad, 0.10); err == nil || !strings.Contains(err.Error(), "no common") {
+		t.Errorf("all-unusable artifact: err = %v", err)
+	}
+}
+
 func TestBenchCompareErrors(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeBenchFile(t, dir, "old.json", "old", map[string]float64{"a": 100})

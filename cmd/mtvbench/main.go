@@ -5,6 +5,7 @@
 //
 //	mtvbench -all                 # run everything on all cores
 //	mtvbench -all -jobs 1         # same results, serially
+//	mtvbench -all -store DIR      # persist results; a second run simulates nothing
 //	mtvbench -exp fig10           # one experiment
 //	mtvbench -format markdown     # EXPERIMENTS.md-ready output
 //	mtvbench -list                # available experiment ids
@@ -43,6 +44,7 @@ func main() {
 		catalog = flag.Bool("catalog", false, "emit the experiment catalog (docs/EXPERIMENTS.md) and exit")
 		quiet   = flag.Bool("q", false, "suppress progress on stderr")
 		timeout = flag.Duration("timeout", 0, "abort the suite after this long (0 = no limit)")
+		stored  = flag.String("store", "", "persistent result store directory: reuse results across runs and processes")
 
 		golden = flag.Bool("golden", false, "emit the byte-exact full-suite output (docs/GOLDEN.txt) and exit")
 
@@ -68,8 +70,10 @@ func main() {
 	}
 	if *golden {
 		// The golden gate depends on every byte: pin all experiments at
-		// the default scale in deterministic text form, progress off.
-		if err := run(context.Background(), os.Stdout, "all", mtvec.DefaultScale, "text", *jobs, true); err != nil {
+		// the default scale in deterministic text form, progress off. A
+		// -store passes through — golden output must be identical served
+		// from disk or simulated, which is what the CI store job proves.
+		if err := run(context.Background(), os.Stdout, "all", mtvec.DefaultScale, "text", *jobs, true, *stored); err != nil {
 			fmt.Fprintln(os.Stderr, "mtvbench:", err)
 			os.Exit(1)
 		}
@@ -122,13 +126,13 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, os.Stdout, expID, *scale, *format, *jobs, *quiet); err != nil {
+	if err := run(ctx, os.Stdout, expID, *scale, *format, *jobs, *quiet, *stored); err != nil {
 		fmt.Fprintln(os.Stderr, "mtvbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, w io.Writer, expID string, scale float64, format string, jobs int, quiet bool) error {
+func run(ctx context.Context, w io.Writer, expID string, scale float64, format string, jobs int, quiet bool, storeDir string) error {
 	var exps []mtvec.Experiment
 	if expID == "all" {
 		exps = mtvec.Experiments()
@@ -157,6 +161,13 @@ func run(ctx context.Context, w io.Writer, expID string, scale float64, format s
 		fmt.Fprintf(os.Stderr, "running %d experiment(s), jobs=%d ...\n", len(exps), jobs)
 	}
 	env := mtvec.NewEnv(scale)
+	if storeDir != "" {
+		st, err := mtvec.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		env.SetStore(st)
+	}
 	results, stats, err := mtvec.RunExperimentsContext(ctx, env, exps, jobs)
 	if err != nil {
 		if mtvec.IsContextErr(err) {
@@ -170,6 +181,10 @@ func run(ctx context.Context, w io.Writer, expID string, scale float64, format s
 			"%d experiment(s), %d simulations in %v (jobs=%d, busy %v, ~%.1fx effective parallelism)\n",
 			len(exps), stats.Simulations, stats.Wall.Round(time.Millisecond),
 			stats.Jobs, stats.Busy.Round(time.Millisecond), stats.Parallelism())
+		if storeDir != "" {
+			fmt.Fprintf(os.Stderr, "store: %d hits, %d simulations persisted to %s\n",
+				env.StoreHits(), stats.Simulations, storeDir)
+		}
 	}
 	for _, res := range results {
 		if err := render(w, res); err != nil {

@@ -15,7 +15,7 @@ import (
 func TestRunSingleExperiment(t *testing.T) {
 	for _, format := range []string{"text", "markdown"} {
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, "table1,table2", 1e-4, format, 2, true); err != nil {
+		if err := run(context.Background(), &buf, "table1,table2", 1e-4, format, 2, true, ""); err != nil {
 			t.Errorf("format %s: %v", format, err)
 		}
 		if buf.Len() == 0 {
@@ -26,11 +26,56 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, "nope", 1e-4, "text", 1, true); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+	if err := run(context.Background(), &buf, "nope", 1e-4, "text", 1, true, ""); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("err = %v", err)
 	}
-	if err := run(context.Background(), &buf, "table1", 1e-4, "pdf", 1, true); err == nil || !strings.Contains(err.Error(), "unknown format") {
+	if err := run(context.Background(), &buf, "table1", 1e-4, "pdf", 1, true, ""); err == nil || !strings.Contains(err.Error(), "unknown format") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestWarmStoreByteIdenticalZeroSimulations is the tentpole acceptance
+// check in miniature (CI runs the full -all version): a second pass of
+// the suite subset over the same store directory must simulate nothing
+// and render byte-identical output — the golden fixture doubles as the
+// store's round-trip fixture.
+func TestWarmStoreByteIdenticalZeroSimulations(t *testing.T) {
+	const exps = "table2,fig5,fig9,fig10,ext-banks"
+	dir := t.TempDir()
+	var cold, warm bytes.Buffer
+	if err := run(context.Background(), &cold, exps, 1e-4, "text", 4, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Env per run() call models a fresh process; only the store
+	// directory is shared.
+	if err := run(context.Background(), &warm, exps, 1e-4, "text", 4, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatal("warm-store output differs from cold run")
+	}
+	if cold.Len() == 0 {
+		t.Fatal("no output")
+	}
+
+	// Third pass, instrumented: the store must answer every run.
+	st, err := mtvec.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := mtvec.NewEnv(1e-4)
+	env.SetStore(st)
+	var ids []mtvec.Experiment
+	for _, id := range strings.Split(exps, ",") {
+		ids = append(ids, *mtvec.ExperimentByID(id))
+	}
+	if _, stats, err := mtvec.RunExperiments(env, ids, 4); err != nil {
+		t.Fatal(err)
+	} else if stats.Simulations != 0 {
+		t.Fatalf("warm store still simulated %d points", stats.Simulations)
+	}
+	if env.StoreHits() == 0 {
+		t.Fatal("no store hits recorded")
 	}
 }
 
@@ -40,10 +85,10 @@ func TestRunErrors(t *testing.T) {
 func TestParallelOutputByteIdentical(t *testing.T) {
 	const exps = "table3,fig4,fig5,fig9,ext-banks,ext-regfile"
 	var serial, parallel bytes.Buffer
-	if err := run(context.Background(), &serial, exps, 1e-4, "text", 1, true); err != nil {
+	if err := run(context.Background(), &serial, exps, 1e-4, "text", 1, true, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), &parallel, exps, 1e-4, "text", 8, true); err != nil {
+	if err := run(context.Background(), &parallel, exps, 1e-4, "text", 8, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
@@ -94,7 +139,7 @@ func TestGoldenPrefixByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, "table1,table2,table3,fig4,fig5", mtvec.DefaultScale, "text", 0, true); err != nil {
+	if err := run(context.Background(), &buf, "table1,table2,table3,fig4,fig5", mtvec.DefaultScale, "text", 0, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() == 0 || buf.Len() > len(golden) {
@@ -109,7 +154,7 @@ func TestRunHonorsDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer cancel()
 	var buf bytes.Buffer
-	err := run(ctx, &buf, "table3", 1e-4, "text", 2, true)
+	err := run(ctx, &buf, "table3", 1e-4, "text", 2, true, "")
 	if err == nil || !strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}

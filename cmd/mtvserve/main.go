@@ -1,0 +1,80 @@
+// Command mtvserve serves the reproduction's simulation results over
+// HTTP/JSON: submit single runs and batch sweeps, stream run progress
+// as server-sent events, and regenerate whole experiments — all backed
+// by the session engine's two cache tiers, so anything simulated before
+// (by this process, or by any process sharing the -store directory) is
+// served with zero simulations and explicit cache-hit metadata.
+//
+//	mtvserve -addr :8372 -store /var/lib/mtvec/store
+//
+// Endpoints (see docs/API.md for request/response schemas):
+//
+//	GET  /healthz                  liveness + cache counters
+//	GET  /api/v1/workloads         the Table 3 program catalog
+//	GET  /api/v1/experiments       the paper's experiment catalog
+//	GET  /api/v1/experiments/{id}  regenerate one experiment (text|markdown)
+//	POST /api/v1/run               one simulation point -> Report + cache metadata
+//	POST /api/v1/sweep             batch: base spec x {contexts, latencies, policies}
+//	GET  /api/v1/stream            one point as SSE: progress/span events, then the result
+//
+// Run and stream responses carry X-Mtvec-Cache: sim | memo | store;
+// sweeps report the tier per point in the body, and experiment
+// responses report their actual cost in X-Mtvec-Simulations — so
+// callers (and load tests) can always tell computed results from
+// served ones.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"mtvec"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8372", "listen address")
+		storeDir = flag.String("store", "", "persistent result store directory (empty = in-memory caches only)")
+		scale    = flag.Float64("scale", mtvec.DefaultScale, "workload scale relative to Table 3 millions")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations")
+	)
+	flag.Parse()
+
+	srv, err := newServer(*scale, *jobs, *storeDir)
+	if err != nil {
+		log.Fatalln("mtvserve:", err)
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("mtvserve: listening on %s (scale %g, jobs %d, store %q)", *addr, *scale, *jobs, *storeDir)
+
+	select {
+	case err := <-errc:
+		log.Fatalln("mtvserve:", err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: in-flight simulations keep their own request
+	// contexts; new connections are refused.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Println("mtvserve: shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "mtvserve: stopped")
+}

@@ -1,0 +1,636 @@
+package main
+
+// The HTTP layer: request/response schemas and handlers. All simulation
+// goes through one shared Env/Session pair, so concurrent requests for
+// one point simulate it once (singleflight), repeated requests answer
+// from the in-memory memo, and — with -store — any point simulated by
+// any process sharing the directory answers from disk. Responses carry
+// the tier that answered in X-Mtvec-Cache and in the JSON body.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mtvec"
+)
+
+// maxSweepPoints bounds one sweep request's cross product.
+const maxSweepPoints = 4096
+
+type server struct {
+	env   *mtvec.Env
+	ses   *mtvec.Session
+	store *mtvec.Store
+	scale float64
+	jobs  int
+	start time.Time
+}
+
+func newServer(scale float64, jobs int, storeDir string) (*server, error) {
+	env := mtvec.NewEnv(scale)
+	env.SetJobs(jobs)
+	s := &server{env: env, ses: env.Session(), scale: scale, jobs: env.Jobs(), start: time.Now()}
+	if storeDir != "" {
+		st, err := mtvec.OpenStore(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		env.SetStore(st)
+		s.store = st
+	}
+	return s, nil
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /api/v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("POST /api/v1/run", s.handleRun)
+	mux.HandleFunc("POST /api/v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /api/v1/stream", s.handleStream)
+	return mux
+}
+
+// runRequest declares one simulation point over the paper's main axes.
+// Zero values keep the session defaults (the reference machine at
+// 50-cycle latency).
+type runRequest struct {
+	// Mode is solo (default), group, or queue — the paper's three run
+	// methodologies.
+	Mode string `json:"mode,omitempty"`
+	// Programs are catalog tags or names (tf, swm256, ...). Solo takes
+	// exactly one; group runs the first as primary with the rest as
+	// restarting companions; queue drains them all.
+	Programs   []string `json:"programs"`
+	Contexts   int      `json:"contexts,omitempty"`
+	Latency    int      `json:"latency,omitempty"`
+	Xbar       int      `json:"xbar,omitempty"`
+	Policy     string   `json:"policy,omitempty"`
+	DualScalar bool     `json:"dual_scalar,omitempty"`
+	IssueWidth int      `json:"issue_width,omitempty"`
+	LoadPorts  int      `json:"load_ports,omitempty"`
+	StorePorts int      `json:"store_ports,omitempty"`
+	Banks      int      `json:"banks,omitempty"`
+	BankBusy   int      `json:"bank_busy,omitempty"`
+	Spans      bool     `json:"spans,omitempty"`
+	MaxCycles  int64    `json:"max_cycles,omitempty"`
+	// ProgressStride sets the simulated-cycle interval between progress
+	// events on the stream endpoint (0 = the engine default, 65536).
+	ProgressStride int64 `json:"progress_stride,omitempty"`
+}
+
+// options translates the request's machine axes into run options.
+func (rq runRequest) options() []mtvec.RunOption {
+	var opts []mtvec.RunOption
+	if rq.Contexts > 0 {
+		opts = append(opts, mtvec.WithContexts(rq.Contexts))
+	}
+	if rq.Latency > 0 {
+		opts = append(opts, mtvec.WithMemLatency(rq.Latency))
+	}
+	if rq.Xbar > 0 {
+		opts = append(opts, mtvec.WithXbar(rq.Xbar))
+	}
+	if rq.Policy != "" {
+		opts = append(opts, mtvec.WithPolicy(rq.Policy))
+	}
+	if rq.DualScalar {
+		opts = append(opts, mtvec.WithDualScalar(true))
+	}
+	if rq.IssueWidth > 0 {
+		opts = append(opts, mtvec.WithIssueWidth(rq.IssueWidth))
+	}
+	if rq.LoadPorts > 0 || rq.StorePorts > 0 {
+		opts = append(opts, mtvec.WithMemPorts(rq.LoadPorts, rq.StorePorts))
+	}
+	if rq.Banks > 0 || rq.BankBusy > 0 {
+		opts = append(opts, mtvec.WithMemBanks(rq.Banks, rq.BankBusy))
+	}
+	if rq.Spans {
+		opts = append(opts, mtvec.WithSpans())
+	}
+	if rq.MaxCycles > 0 {
+		opts = append(opts, mtvec.WithMaxCycles(rq.MaxCycles))
+	}
+	if rq.ProgressStride > 0 {
+		opts = append(opts, mtvec.WithProgressStride(rq.ProgressStride))
+	}
+	return opts
+}
+
+// spec resolves the request into a validated RunSpec, building (or
+// reusing) the named workloads through the Env's memoized cache.
+func (s *server) spec(rq runRequest, extra ...mtvec.RunOption) (mtvec.RunSpec, error) {
+	var zero mtvec.RunSpec
+	if len(rq.Programs) == 0 {
+		return zero, errors.New("programs: need at least one catalog tag or name")
+	}
+	ws := make([]*mtvec.Workload, len(rq.Programs))
+	for i, tag := range rq.Programs {
+		wspec := mtvec.WorkloadByShort(tag)
+		if wspec == nil {
+			wspec = mtvec.WorkloadByName(tag)
+		}
+		if wspec == nil {
+			return zero, fmt.Errorf("unknown program %q", tag)
+		}
+		w, err := s.env.W(wspec.Short)
+		if err != nil {
+			return zero, err
+		}
+		ws[i] = w
+	}
+	opts := append(rq.options(), extra...)
+	var spec mtvec.RunSpec
+	switch rq.Mode {
+	case "", "solo":
+		if len(ws) != 1 {
+			return zero, fmt.Errorf("solo mode takes exactly one program, have %d", len(ws))
+		}
+		spec = mtvec.Solo(ws[0], opts...)
+	case "group":
+		spec = mtvec.Group(ws[0], ws[1:], opts...)
+	case "queue":
+		spec = mtvec.Queue(ws, opts...)
+	default:
+		return zero, fmt.Errorf("unknown mode %q (solo | group | queue)", rq.Mode)
+	}
+	if err := spec.Validate(); err != nil {
+		return zero, err
+	}
+	return spec, nil
+}
+
+// runResponse is one answered simulation point.
+type runResponse struct {
+	// Cache names the tier that answered: sim | memo | store.
+	Cache     string        `json:"cache"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Report    *mtvec.Report `json:"report"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var rq runRequest
+	if err := decodeJSON(w, r, &rq); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := s.spec(rq)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	rep, src, err := s.ses.RunTracked(r.Context(), spec)
+	if err != nil {
+		if mtvec.IsContextErr(err) {
+			return // client went away; nothing to answer
+		}
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("X-Mtvec-Cache", src.String())
+	writeJSON(w, http.StatusOK, runResponse{
+		Cache:     src.String(),
+		ElapsedMS: msSince(start),
+		Report:    rep,
+	})
+}
+
+// sweepRequest fans one base request out over explicit axis values; the
+// cross product of all non-empty axes runs as a batch. An empty axis
+// keeps the base value.
+type sweepRequest struct {
+	Base      runRequest `json:"base"`
+	Contexts  []int      `json:"contexts,omitempty"`
+	Latencies []int      `json:"latencies,omitempty"`
+	Policies  []string   `json:"policies,omitempty"`
+}
+
+// sweepPoint is one point of a sweep response, tagged with the axis
+// values that produced it.
+type sweepPoint struct {
+	Contexts  int           `json:"contexts,omitempty"`
+	Latency   int           `json:"latency,omitempty"`
+	Policy    string        `json:"policy,omitempty"`
+	Cache     string        `json:"cache,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Report    *mtvec.Report `json:"report,omitempty"`
+	Error     string        `json:"error,omitempty"`
+}
+
+type sweepResponse struct {
+	Points []sweepPoint `json:"points"`
+	// Simulated / MemoHits / StoreHits partition the answered points by
+	// tier; Failed counts points whose run errored.
+	Simulated int     `json:"simulated"`
+	MemoHits  int     `json:"memo_hits"`
+	StoreHits int     `json:"store_hits"`
+	Failed    int     `json:"failed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var rq sweepRequest
+	if err := decodeJSON(w, r, &rq); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// Empty axes keep the base value (a one-point sweep is legal).
+	ctxs, lats, pols := rq.Contexts, rq.Latencies, rq.Policies
+	if len(ctxs) == 0 {
+		ctxs = []int{0}
+	}
+	if len(lats) == 0 {
+		lats = []int{0}
+	}
+	if len(pols) == 0 {
+		pols = []string{""}
+	}
+	n := len(ctxs) * len(lats) * len(pols)
+	if n > maxSweepPoints {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("sweep of %d points exceeds the %d-point limit", n, maxSweepPoints))
+		return
+	}
+
+	// Resolve every point's spec up front so a malformed sweep fails
+	// whole, before any simulation starts.
+	points := make([]sweepPoint, 0, n)
+	specs := make([]mtvec.RunSpec, 0, n)
+	var bad []error
+	for _, c := range ctxs {
+		for _, l := range lats {
+			for _, pol := range pols {
+				pr := rq.Base
+				if c > 0 {
+					pr.Contexts = c
+				}
+				if l > 0 {
+					pr.Latency = l
+				}
+				if pol != "" {
+					pr.Policy = pol
+				}
+				spec, err := s.spec(pr)
+				if err != nil {
+					bad = append(bad, fmt.Errorf("point (ctx=%d, lat=%d, policy=%q): %w", c, l, pol, err))
+					continue
+				}
+				points = append(points, sweepPoint{Contexts: c, Latency: l, Policy: pol})
+				specs = append(specs, spec)
+			}
+		}
+	}
+	if len(bad) > 0 {
+		s.fail(w, http.StatusBadRequest, errors.Join(bad...))
+		return
+	}
+
+	// Fan out; the session's jobs gate bounds actual simulation
+	// concurrency, and shared points collapse onto one simulation.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range specs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pstart := time.Now()
+			rep, src, err := s.ses.RunTracked(r.Context(), specs[i])
+			points[i].ElapsedMS = msSince(pstart)
+			if err != nil {
+				points[i].Error = err.Error()
+				return
+			}
+			points[i].Cache = src.String()
+			points[i].Report = rep
+		}()
+	}
+	wg.Wait()
+	if r.Context().Err() != nil {
+		return // client went away mid-sweep
+	}
+
+	resp := sweepResponse{Points: points, ElapsedMS: msSince(start)}
+	for i := range points {
+		switch {
+		case points[i].Error != "":
+			resp.Failed++
+		case points[i].Cache == mtvec.RunFromSim.String():
+			resp.Simulated++
+		case points[i].Cache == mtvec.RunFromMemo.String():
+			resp.MemoHits++
+		case points[i].Cache == mtvec.RunFromStore.String():
+			resp.StoreHits++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sseObserver forwards run events as server-sent events. The simulator
+// calls it synchronously on the handler goroutine, so writes need no
+// locking; a failed write just stops further events (the client is
+// gone, and the run is cancelled through the request context).
+type sseObserver struct {
+	w        io.Writer
+	fl       http.Flusher
+	spans    bool
+	switches bool
+	dead     bool
+}
+
+func (o *sseObserver) event(name string, v any) {
+	if o.dead {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err == nil {
+		_, err = fmt.Fprintf(o.w, "event: %s\ndata: %s\n\n", name, data)
+	}
+	if err != nil {
+		o.dead = true
+		return
+	}
+	o.fl.Flush()
+}
+
+func (o *sseObserver) Progress(now int64, dispatched int64) {
+	o.event("progress", map[string]int64{"cycle": now, "dispatched": dispatched})
+}
+
+func (o *sseObserver) ThreadSwitch(now int64, from, to int) {
+	if o.switches {
+		o.event("switch", map[string]int64{"cycle": now, "from": int64(from), "to": int64(to)})
+	}
+}
+
+func (o *sseObserver) Span(sp mtvec.Span) {
+	if o.spans {
+		o.event("span", sp)
+	}
+}
+
+// streamParams are the query keys the stream endpoint accepts — the
+// POST body schema flattened, plus the SSE-only switches toggle.
+var streamParams = map[string]bool{
+	"mode": true, "programs": true, "policy": true, "contexts": true,
+	"latency": true, "xbar": true, "issue_width": true, "load_ports": true,
+	"store_ports": true, "banks": true, "bank_busy": true, "max_cycles": true,
+	"progress_stride": true, "dual_scalar": true, "spans": true, "switches": true,
+}
+
+// queryRunRequest builds a runRequest (plus the SSE-only switches
+// toggle) from the stream endpoint's query parameters — the POST body
+// schema, flattened. Unknown parameters and malformed values are
+// rejected, mirroring the POST decoder's strict field checking — a
+// typo'd axis must not silently simulate the default machine.
+func queryRunRequest(r *http.Request) (rq runRequest, switches bool, err error) {
+	q := r.URL.Query()
+	for name := range q {
+		if !streamParams[name] {
+			return runRequest{}, false, fmt.Errorf("unknown query parameter %q", name)
+		}
+	}
+	rq = runRequest{Mode: q.Get("mode"), Policy: q.Get("policy")}
+	for _, tag := range strings.Split(q.Get("programs"), ",") {
+		if tag = strings.TrimSpace(tag); tag != "" {
+			rq.Programs = append(rq.Programs, tag)
+		}
+	}
+	atoi := func(name string) int {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		n, aerr := strconv.Atoi(v)
+		if aerr != nil && err == nil {
+			err = fmt.Errorf("%s: %w", name, aerr)
+		}
+		return n
+	}
+	rq.Contexts = atoi("contexts")
+	rq.Latency = atoi("latency")
+	rq.Xbar = atoi("xbar")
+	rq.IssueWidth = atoi("issue_width")
+	rq.LoadPorts = atoi("load_ports")
+	rq.StorePorts = atoi("store_ports")
+	rq.Banks = atoi("banks")
+	rq.BankBusy = atoi("bank_busy")
+	rq.MaxCycles = int64(atoi("max_cycles"))
+	rq.ProgressStride = int64(atoi("progress_stride"))
+	abool := func(name string) bool {
+		v := q.Get(name)
+		if v == "" {
+			return false
+		}
+		b, berr := strconv.ParseBool(v)
+		if berr != nil && err == nil {
+			err = fmt.Errorf("%s: %w", name, berr)
+		}
+		return b
+	}
+	rq.DualScalar = abool("dual_scalar")
+	rq.Spans = abool("spans")
+	switches = abool("switches")
+	return rq, switches, err
+}
+
+// handleStream answers one run as an SSE stream: progress (and
+// optionally span/switch) events while the simulation executes, then a
+// final result event carrying the runResponse. A cached result skips
+// straight to the result event — no simulation, no progress.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	rq, switches, err := queryRunRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := s.spec(rq)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	start := time.Now()
+	obs := &sseObserver{w: w, fl: fl, spans: rq.Spans, switches: switches}
+	sse := func(cache string) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-Mtvec-Cache", cache)
+		w.WriteHeader(http.StatusOK)
+	}
+
+	// A result some tier already holds streams as just its result event.
+	if rep, src, ok := s.ses.Cached(spec); ok {
+		sse(src.String())
+		obs.event("result", runResponse{Cache: src.String(), ElapsedMS: msSince(start), Report: rep})
+		return
+	}
+
+	sse(mtvec.RunFromSim.String())
+	rep, src, err := s.ses.RunTracked(r.Context(), spec.With(mtvec.WithObserver(obs)))
+	if err != nil {
+		if !mtvec.IsContextErr(err) {
+			obs.event("error", map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	obs.event("result", runResponse{Cache: src.String(), ElapsedMS: msSince(start), Report: rep})
+}
+
+// experimentInfo is one catalog entry.
+type experimentInfo struct {
+	ID         string `json:"id"`
+	Title      string `json:"title"`
+	PaperShape string `json:"paper_shape"`
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var list []experimentInfo
+	for _, e := range mtvec.Experiments() {
+		list = append(list, experimentInfo{ID: e.ID, Title: e.Title, PaperShape: e.PaperShape})
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleExperiment regenerates one experiment (every table/figure of
+// it) against the shared Env. With a warm store this is pure serving:
+// the X-Mtvec-Simulations header reports how many machine runs the
+// request actually cost (0 on a fully cached regeneration; approximate
+// under concurrent requests, which share the Env's counters).
+//
+// Unlike the point endpoints, regeneration runs under the Env's own
+// context, not the request's: its simulation points land in the shared
+// memo/store tiers where any later request is served from them, so
+// finishing after a client disconnect is deliberate (cache warming).
+// Swapping the shared Env's context per request would also let one
+// client's disconnect cancel another's runs.
+func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	exp := mtvec.ExperimentByID(id)
+	if exp == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+		return
+	}
+	render := mtvec.RenderResult
+	contentType := "text/plain; charset=utf-8"
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "text":
+	case "markdown":
+		render = mtvec.RenderResultMarkdown
+		contentType = "text/markdown; charset=utf-8"
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (text | markdown)", format))
+		return
+	}
+	sims0, hits0 := s.env.Simulations(), s.env.StoreHits()
+	start := time.Now()
+	res, err := exp.Run(s.env)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	var buf strings.Builder
+	if err := render(&buf, res); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("X-Mtvec-Simulations", strconv.FormatInt(s.env.Simulations()-sims0, 10))
+	h.Set("X-Mtvec-Store-Hits", strconv.FormatInt(s.env.StoreHits()-hits0, 10))
+	h.Set("X-Mtvec-Elapsed-Ms", strconv.FormatFloat(msSince(start), 'f', 1, 64))
+	io.WriteString(w, buf.String())
+}
+
+// workloadInfo is one program-catalog entry.
+type workloadInfo struct {
+	Name  string `json:"name"`
+	Short string `json:"short"`
+	Suite string `json:"suite"`
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var list []workloadInfo
+	for _, spec := range mtvec.Workloads() {
+		list = append(list, workloadInfo{Name: spec.Name, Short: spec.Short, Suite: spec.Suite})
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+type healthResponse struct {
+	Status      string  `json:"status"`
+	UptimeS     float64 `json:"uptime_s"`
+	Scale       float64 `json:"scale"`
+	Jobs        int     `json:"jobs"`
+	Simulations int64   `json:"simulations"`
+	StoreHits   int64   `json:"store_hits"`
+	// Store carries the persistent tier's counters; null without -store.
+	Store *mtvec.StoreStats `json:"store,omitempty"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:      "ok",
+		UptimeS:     time.Since(s.start).Seconds(),
+		Scale:       s.scale,
+		Jobs:        s.jobs,
+		Simulations: s.env.Simulations(),
+		StoreHits:   s.env.StoreHits(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// decodeJSON reads one JSON request body with a size bound and strict
+// field checking, so typo'd axis names fail loudly instead of silently
+// running the default machine.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("request body: %w", err)
+	}
+	return nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Nanoseconds()) / 1e6
+}

@@ -55,6 +55,7 @@ type simOpts struct {
 	spans    bool
 	states   bool
 	timeout  time.Duration
+	storeDir string
 
 	// Machine shape (docs/ARCH.md). archName selects a preset; the
 	// register-file flags override individual dimensions of it.
@@ -87,6 +88,7 @@ func main() {
 	flag.BoolVar(&o.spans, "spans", false, "print the per-thread execution profile")
 	flag.BoolVar(&o.states, "states", false, "print the 8-state breakdown")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the simulation after this long (0 = no limit)")
+	flag.StringVar(&o.storeDir, "store", "", "persistent result store directory: a run any process already simulated is served from disk")
 	flag.StringVar(&o.archName, "arch", "", "machine-shape preset: "+strings.Join(archNames(), " | ")+" (default reference)")
 	flag.IntVar(&o.vlen, "vlen", 0, "vector register length in elements (0 = shape default)")
 	flag.IntVar(&o.vregs, "vregs", 0, "vector registers per context (0 = shape default)")
@@ -280,13 +282,26 @@ func run(ctx context.Context, w io.Writer, o simOpts) error {
 		return fmt.Errorf("unknown mode %q", o.mode)
 	}
 
-	rep, err := mtvec.NewSession().Run(ctx, spec)
+	ses := mtvec.NewSession()
+	if o.storeDir != "" {
+		st, err := mtvec.OpenStore(o.storeDir)
+		if err != nil {
+			return err
+		}
+		ses.SetStore(st)
+	}
+	rep, src, err := ses.RunTracked(ctx, spec)
 	if err != nil {
 		if mtvec.IsContextErr(err) {
 			return fmt.Errorf("%w (stopped at cycle %d, %d instructions dispatched)",
 				err, meter.cycle, meter.insts)
 		}
 		return err
+	}
+	if o.storeDir != "" {
+		// A store hit skips the simulation entirely, so the progress
+		// meter stays silent on served runs — say which happened.
+		fmt.Fprintf(w, "result:            %s\n", src)
 	}
 
 	fmt.Fprintf(w, "cycles:            %d\n", rep.Cycles)

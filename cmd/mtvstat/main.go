@@ -4,15 +4,35 @@
 //	mtvstat                      # all ten programs
 //	mtvstat -program sw          # one program
 //	mtvstat -trace swm256.mtvt   # a trace file
+//
+// In -trace mode the catalog flags do not apply: giving -program or
+// -scale alongside -trace is a usage error, not a silent no-op (a trace
+// file's content is fixed; neither flag could affect the analysis).
+//
+// Exit codes distinguish the failure class: 2 for usage errors (unknown
+// program, conflicting flags), 1 for analysis failures (unreadable or
+// corrupt trace file).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"mtvec"
 )
+
+// usageError marks a failure of invocation rather than analysis; main
+// maps it to exit code 2 (the flag package's own convention).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
 
 func main() {
 	var (
@@ -21,8 +41,17 @@ func main() {
 		scale   = flag.Float64("scale", mtvec.DefaultScale, "workload scale")
 	)
 	flag.Parse()
-	if err := run(*program, *traceF, *scale); err != nil {
+	// Record which flags were given explicitly: in trace mode the
+	// catalog flags are meaningless and must be rejected, not ignored.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if err := run(*program, *traceF, *scale, set["program"], set["scale"]); err != nil {
 		fmt.Fprintln(os.Stderr, "mtvstat:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -41,8 +70,18 @@ func printStats(name, suite string, st mtvec.ProgramStats) {
 		st.PctVectorized(), st.AvgVL(), st.IdealCycles())
 }
 
-func run(program, traceF string, scale float64) error {
+// run analyzes either the catalog (programSet/scaleSet report explicit
+// flag use) or a trace file. Usage problems return a usageError.
+func run(program, traceF string, scale float64, programSet, scaleSet bool) error {
 	if traceF != "" {
+		// Explicit catalog flags contradict trace mode; error instead of
+		// silently ignoring them.
+		switch {
+		case programSet:
+			return usagef("-program has no effect with -trace (the trace file fixes the program)")
+		case scaleSet:
+			return usagef("-scale has no effect with -trace (the trace was generated at a fixed scale)")
+		}
 		f, err := os.Open(traceF)
 		if err != nil {
 			return err
@@ -50,11 +89,11 @@ func run(program, traceF string, scale float64) error {
 		defer f.Close()
 		tr, err := mtvec.DecodeTrace(f)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", traceF, err)
 		}
 		st, n, err := mtvec.TraceStats(tr)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", traceF, err)
 		}
 		fmt.Printf("trace: %s (%d dynamic instructions, %d blocks)\n",
 			tr.Prog.Name, n, len(tr.Prog.Blocks))
@@ -63,6 +102,9 @@ func run(program, traceF string, scale float64) error {
 		return nil
 	}
 
+	if scale <= 0 {
+		return usagef("-scale %g out of range (need > 0)", scale)
+	}
 	var specs []*mtvec.WorkloadSpec
 	if program == "all" {
 		specs = mtvec.Workloads()
@@ -72,7 +114,7 @@ func run(program, traceF string, scale float64) error {
 			s = mtvec.WorkloadByName(program)
 		}
 		if s == nil {
-			return fmt.Errorf("unknown program %q", program)
+			return usagef("unknown program %q", program)
 		}
 		specs = append(specs, s)
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -8,18 +10,24 @@ import (
 )
 
 func TestStatsAll(t *testing.T) {
-	if err := run("all", "", 2e-5); err != nil {
+	if err := run("all", "", 2e-5, false, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("sw", "", 2e-5); err != nil {
+	if err := run("sw", "", 2e-5, true, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("zz", "", 2e-5); err == nil {
+	err := run("zz", "", 2e-5, true, true)
+	if err == nil {
 		t.Fatal("unknown program accepted")
+	}
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("unknown program is not a usage error: %v", err)
 	}
 }
 
-func TestStatsFromTraceFile(t *testing.T) {
+func writeTrace(t *testing.T) string {
+	t.Helper()
 	w, err := mtvec.WorkloadByShort("sd").Build(5e-5)
 	if err != nil {
 		t.Fatal(err)
@@ -33,10 +41,52 @@ func TestStatsFromTraceFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("all", path, 1); err != nil {
+	return path
+}
+
+func TestStatsFromTraceFile(t *testing.T) {
+	path := writeTrace(t)
+	if err := run("all", path, 1, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("all", filepath.Join(t.TempDir(), "missing.mtvt"), 1); err == nil {
+	err := run("all", filepath.Join(t.TempDir(), "missing.mtvt"), 1, false, false)
+	if err == nil {
 		t.Fatal("missing trace file accepted")
+	}
+	// I/O and decode problems are analysis failures, not usage errors.
+	var ue usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("missing file classified as usage error: %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.mtvt")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("all", bad, 1, false, false); err == nil || errors.As(err, &ue) {
+		t.Fatalf("corrupt trace: err = %v, want non-usage failure", err)
+	}
+}
+
+// TestTraceModeRejectsCatalogFlags: flags that cannot affect trace
+// analysis must error (as usage), not be silently ignored.
+func TestTraceModeRejectsCatalogFlags(t *testing.T) {
+	path := writeTrace(t)
+	var ue usageError
+	if err := run("sw", path, 1, true, false); err == nil || !errors.As(err, &ue) {
+		t.Fatalf("-program with -trace: err = %v, want usage error", err)
+	}
+	if err := run("all", path, 5e-5, false, true); err == nil || !errors.As(err, &ue) {
+		t.Fatalf("-scale with -trace: err = %v, want usage error", err)
+	}
+	// Default (unset) flag values remain fine.
+	if err := run("all", path, mtvec.DefaultScale, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadScaleIsUsageError(t *testing.T) {
+	var ue usageError
+	if err := run("all", "", -1, false, true); err == nil || !errors.As(err, &ue) {
+		t.Fatalf("negative scale: err = %v, want usage error", err)
 	}
 }

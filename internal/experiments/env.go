@@ -32,6 +32,7 @@ import (
 	"mtvec/internal/runner"
 	"mtvec/internal/session"
 	"mtvec/internal/stats"
+	"mtvec/internal/store"
 	"mtvec/internal/vcomp"
 	"mtvec/internal/workload"
 )
@@ -90,6 +91,18 @@ func (e *Env) SetContext(ctx context.Context) {
 
 // runCtx returns the context governing new runs.
 func (e *Env) runCtx() context.Context { return e.ctx.Load().c }
+
+// SetStore attaches a persistent result store to the Env's session:
+// simulation points some earlier process already ran are served from
+// disk, and fresh ones are written through — a warm store regenerates
+// the whole evaluation with zero simulations. Workload builds are not
+// persisted (they are cheap relative to runs and carry unexported
+// state); only run Reports are.
+func (e *Env) SetStore(st *store.Store) { e.ses.SetStore(st) }
+
+// StoreHits returns how many runs the Env served from the persistent
+// store.
+func (e *Env) StoreHits() int64 { return e.ses.StoreHits() }
 
 // SetJobs bounds how many simulations (and workload builds) may execute
 // concurrently; n <= 0 selects runtime.NumCPU(). Results do not depend

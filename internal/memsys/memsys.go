@@ -14,7 +14,10 @@
 // conflict-free memory).
 package memsys
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Cycle counts processor cycles.
 type Cycle = int64
@@ -45,6 +48,11 @@ type Config struct {
 	// Banks > 0 enables the banked-conflict model: strided streams
 	// whose addresses revisit a bank within BankBusy cycles stall the
 	// request stream. Banks == 0 is the paper's conflict-free memory.
+	// A banked configuration requires BankBusy >= 1 — with a zero
+	// recovery time no stream can ever conflict, which would silently
+	// disable the model rather than configure it. (BankBusy == 1 is the
+	// explicit "banked but conflict-free" spelling: a bank that recovers
+	// by the next cycle never collides.)
 	Banks    int
 	BankBusy int
 }
@@ -55,24 +63,31 @@ func DefaultConfig() Config {
 	return Config{Latency: 50, ScalarLatency: 4, GeneralPorts: 1}
 }
 
-// Validate reports configuration errors.
+// Validate reports every problem with the configuration, joined.
 func (c Config) Validate() error {
+	var errs []error
+	ef := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
 	if c.Latency < 1 {
-		return fmt.Errorf("memsys: latency %d < 1", c.Latency)
+		ef("memsys: latency %d < 1", c.Latency)
 	}
 	if c.ScalarLatency < 0 {
-		return fmt.Errorf("memsys: negative scalar latency %d", c.ScalarLatency)
+		ef("memsys: negative scalar latency %d", c.ScalarLatency)
 	}
 	if c.GeneralPorts+c.LoadPorts < 1 || c.GeneralPorts+c.StorePorts < 1 {
-		return fmt.Errorf("memsys: no port can serve loads or stores")
+		ef("memsys: no port can serve loads or stores")
 	}
 	if c.Banks < 0 || c.BankBusy < 0 {
-		return fmt.Errorf("memsys: negative bank parameters")
+		ef("memsys: negative bank parameters")
 	}
-	if c.Banks > 0 && c.Banks&(c.Banks-1) != 0 {
-		return fmt.Errorf("memsys: banks must be a power of two, have %d", c.Banks)
+	if c.Banks > 0 {
+		if c.Banks&(c.Banks-1) != 0 {
+			ef("memsys: banks must be a power of two, have %d", c.Banks)
+		}
+		if c.BankBusy == 0 {
+			ef("memsys: %d banks with bank busy time 0 silently disables the conflict model; set BankBusy >= 1, or Banks = 0 for conflict-free memory", c.Banks)
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // System is the memory subsystem state during one simulation.

@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -26,6 +27,8 @@ func TestConfigValidation(t *testing.T) {
 		{Latency: 10, GeneralPorts: 1, Banks: 3},  // non-power-of-two
 		{Latency: 10, GeneralPorts: 1, Banks: -4}, // negative
 		{Latency: 10, GeneralPorts: 1, Banks: 8, BankBusy: -1},
+		{Latency: 10, GeneralPorts: 1, Banks: 8}, // BankBusy 0: silent no-op
+		{Latency: 10, GeneralPorts: 1, Banks: 1}, // even one bank needs a busy time
 	}
 	for i, c := range bad {
 		if c.Validate() == nil {
@@ -36,6 +39,76 @@ func TestConfigValidation(t *testing.T) {
 	ok := Config{Latency: 10, LoadPorts: 2, StorePorts: 1}
 	if err := ok.Validate(); err != nil {
 		t.Errorf("cray-like config rejected: %v", err)
+	}
+	// Banked with a real recovery time is fine, including the explicit
+	// "banked but conflict-free" spelling BankBusy == 1.
+	for _, busy := range []int{1, 8} {
+		c := Config{Latency: 10, GeneralPorts: 1, Banks: 16, BankBusy: busy}
+		if err := c.Validate(); err != nil {
+			t.Errorf("banked config (busy %d) rejected: %v", busy, err)
+		}
+	}
+}
+
+func TestValidateJoinsAllDiagnostics(t *testing.T) {
+	// Every problem must surface at once, not just the first.
+	c := Config{Latency: 0, ScalarLatency: -1, Banks: 8}
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	for _, want := range []string{"latency 0", "scalar latency", "port", "bank busy time 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined diagnostic missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestBankModelNeverSilentlyDisabled(t *testing.T) {
+	// The hole this guards: Banks > 0 with BankBusy == 0 used to
+	// validate, and conflictFactor's distinct >= BankBusy test was then
+	// vacuously true for every stride — a banked machine that could
+	// never conflict. Such a system must now be unconstructible.
+	if _, err := New(Config{Latency: 10, GeneralPorts: 1, Banks: 64}); err == nil {
+		t.Fatal("New accepted Banks=64 BankBusy=0")
+	}
+}
+
+func TestBankConflictEdgeCases(t *testing.T) {
+	// Banks=1: every element of any strided stream revisits the single
+	// bank, so the stream sustains exactly BankBusy cycles per element.
+	s := mustNew(t, Config{Latency: 10, GeneralPorts: 1, Banks: 1, BankBusy: 8})
+	if _, _, busy := s.ScheduleVector(0, 64, 8, true); busy != 64*8 {
+		t.Errorf("single-bank unit stride busy = %d, want %d", busy, 64*8)
+	}
+	// Gathers are still assumed spread across... the one bank — by the
+	// model's convention they run at full rate regardless.
+	if _, _, busy := s.ScheduleVector(0, 64, 0, true); busy != 64 {
+		t.Errorf("single-bank gather busy = %d, want 64", busy)
+	}
+
+	// BankBusy=1: a bank recovers by the next cycle, so even the worst
+	// stride (every element on one bank) runs at one element per cycle —
+	// the explicit banked-but-conflict-free configuration.
+	s1 := mustNew(t, Config{Latency: 10, GeneralPorts: 1, Banks: 16, BankBusy: 1})
+	for _, strideBytes := range []int64{8, 16 * 8, 7 * 8, 0} {
+		if _, _, busy := s1.ScheduleVector(0, 64, strideBytes, true); busy != 64 {
+			t.Errorf("busy-1 stride %d busy = %d, want 64", strideBytes, busy)
+		}
+	}
+
+	// Stride hitting exactly one of many banks: stride == Banks elements
+	// lands every element on the same bank, the worst case.
+	sb := mustNew(t, Config{Latency: 10, GeneralPorts: 1, Banks: 8, BankBusy: 4})
+	if _, _, busy := sb.ScheduleVector(0, 32, 8*8, true); busy != 32*4 {
+		t.Errorf("one-bank stride busy = %d, want %d", busy, 32*4)
+	}
+	// And the conflict factor never exceeds BankBusy nor drops below 1.
+	for se := int64(1); se <= 64; se++ {
+		f := sb.conflictFactor(se * 8)
+		if f < 1 || f > 4 {
+			t.Fatalf("stride %d elements: factor %d out of range [1,4]", se, f)
+		}
 	}
 }
 

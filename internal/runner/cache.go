@@ -125,6 +125,47 @@ func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func() (V, error)
 	}
 }
 
+// Add installs an externally-computed value for key if the cache has no
+// entry for it (in-flight or done), reporting whether it was installed.
+// It never disturbs an existing entry, so the single-computation
+// guarantee for Do callers is unaffected.
+func (c *Cache[K, V]) Add(key K, val V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[K]*cacheEntry[V])
+	}
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &cacheEntry[V]{done: make(chan struct{}), val: val}
+	close(e.done)
+	c.entries[key] = e
+	return true
+}
+
+// Peek returns key's value if its computation has finished
+// successfully. It never blocks: in-flight entries, errored entries and
+// absent keys all report ok=false.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	var zero V
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return zero, false
+	}
+	if e.err != nil {
+		return zero, false
+	}
+	return e.val, true
+}
+
 // Misses returns how many times a compute function actually ran — the
 // number of distinct keys ever requested.
 func (c *Cache[K, V]) Misses() int64 { return c.misses.Load() }

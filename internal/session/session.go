@@ -28,6 +28,21 @@
 // run is cancelled the session forgets the cache entry, and waiters
 // whose own context is still live retry it, so one caller's deadline
 // never poisons the cache for the others.
+//
+// # Persistence
+//
+// SetStore (or WithStore) attaches an on-disk result store as a second
+// cache tier below the in-memory memo: a run whose spec has a stable
+// content identity (catalog workloads, named policies — see
+// RunSpec.persistKey) is looked up on disk before simulating and
+// written through after. The store obeys the same cancellation rule —
+// a cancelled run is never persisted — and adds cross-process
+// single-flight, so any number of processes sharing one store
+// directory simulate each distinct point once between them. Unlike the
+// memo tier, the store also serves observer-carrying specs: a
+// persisted result returns immediately and the observers see no
+// events, because no simulation runs (RunTracked reports which tier
+// answered).
 package session
 
 import (
@@ -42,6 +57,7 @@ import (
 	"mtvec/internal/prog"
 	"mtvec/internal/runner"
 	"mtvec/internal/stats"
+	"mtvec/internal/store"
 )
 
 // Session executes RunSpecs: it memoizes results, bounds concurrency,
@@ -51,6 +67,11 @@ type Session struct {
 	jobs atomic.Int64 // concurrency bound, mirrored into gate
 	sims atomic.Int64 // machine runs actually executed
 	memo bool
+
+	// st is the optional persistent second cache tier (nil = none);
+	// storeHits counts runs this session served from it.
+	st        atomic.Pointer[store.Store]
+	storeHits atomic.Int64
 
 	// gate admits at most Jobs() concurrent leaf sections (machine runs
 	// and, via Do, workload builds). Orchestration layers above may
@@ -95,8 +116,16 @@ func WithJobs(n int) SessionOption {
 // WithoutMemo disables the run cache: every Run simulates, and repeated
 // identical specs return fresh Reports. The legacy Run* entry points
 // use a memo-less default session to keep their original semantics.
+// An attached store is unaffected — persistence is orthogonal to the
+// in-memory memo tier.
 func WithoutMemo() SessionOption {
 	return func(s *Session) { s.memo = false }
+}
+
+// WithStore attaches a persistent result store to a new session (see
+// Session.SetStore).
+func WithStore(st *store.Store) SessionOption {
+	return func(s *Session) { s.SetStore(st) }
 }
 
 // New creates a session. Memoization is on by default; the simulation
@@ -127,6 +156,19 @@ func (s *Session) Jobs() int { return int(s.jobs.Load()) }
 // cache misses, not requests; the quantity memoization exists to bound.
 func (s *Session) Simulations() int64 { return s.sims.Load() }
 
+// SetStore attaches (or, with nil, detaches) a persistent result store:
+// stable specs are served from disk when a prior process simulated them
+// and written through when this one does. Safe to call concurrently
+// with runs; in-flight runs keep the store they started with.
+func (s *Session) SetStore(st *store.Store) { s.st.Store(st) }
+
+// Store returns the attached persistent store, or nil.
+func (s *Session) Store() *store.Store { return s.st.Load() }
+
+// StoreHits returns how many runs this session served from the
+// persistent store — work some earlier process (or session) paid for.
+func (s *Session) StoreHits() int64 { return s.storeHits.Load() }
+
 // Busy returns the cumulative wall time spent inside gated sections
 // (simulations and Do work) — the serial-equivalent cost of the
 // session's work.
@@ -137,23 +179,145 @@ func (s *Session) Busy() time.Duration { return s.gate.Busy() }
 // global concurrency bound as the simulations themselves.
 func (s *Session) Do(fn func()) { s.gate.Do(fn) }
 
+// Source names the cache tier that answered a run.
+type Source int
+
+const (
+	// SourceSim: the session executed the simulation.
+	SourceSim Source = iota
+	// SourceMemo: served from the in-memory memo cache (including
+	// joining an in-flight computation).
+	SourceMemo
+	// SourceStore: served from the persistent on-disk store.
+	SourceStore
+)
+
+// String names the source ("sim", "memo", "store").
+func (s Source) String() string {
+	switch s {
+	case SourceSim:
+		return "sim"
+	case SourceMemo:
+		return "memo"
+	case SourceStore:
+		return "store"
+	}
+	return "unknown"
+}
+
 // Run simulates the spec and returns its Report. Identical memoizable
 // specs simulate once and share the result; specs carrying observers
-// always simulate. A nil ctx means context.Background().
+// always simulate unless a persistent store already holds the result.
+// A nil ctx means context.Background().
 func (s *Session) Run(ctx context.Context, spec RunSpec) (*stats.Report, error) {
+	rep, _, err := s.RunTracked(ctx, spec)
+	return rep, err
+}
+
+// RunTracked is Run plus cache metadata: which tier produced the Report
+// — a fresh simulation, the in-memory memo, or the persistent store.
+// Waiters that join another caller's in-flight simulation report
+// SourceMemo (they did not run it).
+func (s *Session) RunTracked(ctx context.Context, spec RunSpec) (*stats.Report, Source, error) {
 	p, err := spec.prepare()
 	if err != nil {
-		return nil, err
+		return nil, SourceSim, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	st := s.st.Load()
 	if !s.memo || !p.memoizable {
-		return s.simulate(ctx, spec, p)
+		// Memo-less path (session-wide or observer-carrying spec): the
+		// store still applies when the spec is persistable. A store hit
+		// skips the simulation, so attached observers see no events.
+		key, persistable := "", false
+		if st != nil {
+			key, persistable = spec.persistKey(&p)
+		}
+		if persistable {
+			if rep, ok := st.Get(key); ok {
+				s.storeHits.Add(1)
+				if s.memo {
+					// Promote to the memo tier: repeated requests for a
+					// hot point should not re-read and re-verify the
+					// disk record every time.
+					s.runs.Add(spec.memoKey(&p, s.idOf), rep)
+				}
+				return rep, SourceStore, nil
+			}
+		}
+		rep, err := s.simulate(ctx, spec, p)
+		if err == nil {
+			if persistable {
+				// Write-through is best-effort: a full disk degrades
+				// the store to a miss next time, never the run itself.
+				_ = st.Put(key, rep)
+			}
+			if s.memo && !p.memoizable {
+				// Reports are observation-invariant, so an observer
+				// run's result is exactly what a plain Run of the same
+				// spec would memoize — install it (the memo key ignores
+				// observers) and let future plain or Cached requests
+				// hit. Observer-carrying requests still always reach
+				// this branch and simulate.
+				s.runs.Add(spec.memoKey(&p, s.idOf), rep)
+			}
+		}
+		return rep, SourceSim, err
 	}
-	return s.runs.DoContext(ctx, spec.memoKey(&p, s.idOf), func() (*stats.Report, error) {
+	src := SourceMemo // overwritten iff this caller computes
+	rep, err := s.runs.DoContext(ctx, spec.memoKey(&p, s.idOf), func() (*stats.Report, error) {
+		if st != nil {
+			if key, ok := spec.persistKey(&p); ok {
+				rep, fromStore, err := st.Do(ctx, key, func() (*stats.Report, error) {
+					return s.simulate(ctx, spec, p)
+				})
+				if fromStore {
+					src = SourceStore
+					s.storeHits.Add(1)
+				} else if err == nil {
+					src = SourceSim
+				}
+				return rep, err
+			}
+		}
+		src = SourceSim
 		return s.simulate(ctx, spec, p)
 	})
+	return rep, src, err
+}
+
+// Cached returns the spec's Report if some cache tier already holds it
+// — the in-memory memo (completed entries only; it never blocks on an
+// in-flight run) or the persistent store — without ever simulating.
+// Because Cached never runs anything, it answers for observer-carrying
+// specs too (the memo key ignores observers; no events fire either
+// way). Invalid specs report a miss.
+func (s *Session) Cached(spec RunSpec) (*stats.Report, Source, bool) {
+	p, err := spec.prepare()
+	if err != nil {
+		return nil, SourceSim, false
+	}
+	if s.memo {
+		if rep, ok := s.runs.Peek(spec.memoKey(&p, s.idOf)); ok {
+			return rep, SourceMemo, true
+		}
+	}
+	if st := s.st.Load(); st != nil {
+		if key, ok := spec.persistKey(&p); ok {
+			if rep, ok := st.Get(key); ok {
+				s.storeHits.Add(1)
+				if s.memo {
+					// Promote to the memo tier (see RunTracked): the
+					// next lookup answers from memory.
+					s.runs.Add(spec.memoKey(&p, s.idOf), rep)
+				}
+				return rep, SourceStore, true
+			}
+		}
+	}
+	return nil, SourceSim, false
 }
 
 // RunAll simulates the specs concurrently under the session's jobs

@@ -9,6 +9,7 @@ import (
 	"mtvec/internal/arch"
 	"mtvec/internal/core"
 	"mtvec/internal/memsys"
+	"mtvec/internal/prog"
 	"mtvec/internal/sched"
 	"mtvec/internal/vcomp"
 	"mtvec/internal/workload"
@@ -321,11 +322,18 @@ func WithMemPorts(load, store int) Option {
 }
 
 // WithMemBanks enables the banked-conflict memory model: banks must be a
-// power of two, busy is the bank recovery time in cycles.
+// power of two, busy is the bank recovery time in cycles. busy must be
+// at least 1 — a zero recovery time would make the conflict model a
+// silent no-op (memsys.Config.Validate rejects that shape too); busy 1
+// is the explicit "banked but conflict-free" spelling.
 func WithMemBanks(banks, busy int) Option {
 	return func(b *build) {
-		if banks < 1 || busy < 0 {
-			b.errf("session: invalid bank parameters %d/%d", banks, busy)
+		if banks < 1 {
+			b.errf("session: bank count %d < 1 (use the zero config, not WithMemBanks, for conflict-free memory)", banks)
+			return
+		}
+		if busy < 1 {
+			b.errf("session: bank busy time %d < 1 would silently disable the %d-bank conflict model (busy 1 means a bank recovers by the next cycle)", busy, banks)
 			return
 		}
 		b.cfg.Mem.Banks, b.cfg.Mem.BankBusy = banks, busy
@@ -491,24 +499,20 @@ func (s RunSpec) memoKey(p *plan, idOf func(any) uint64) string {
 	// and the reflective fmt path dominated the cache-hit profile. Any
 	// injective encoding works — the cache is in-memory only.
 	b := make([]byte, 0, 256)
-	num := func(v int64) {
-		b = strconv.AppendInt(b, v, 10)
-		b = append(b, ',')
-	}
 	b = append(b, "mode="...)
-	num(int64(s.mode))
+	b = appendNum(b, int64(s.mode))
 	b = append(b, "|ws="...)
 	for _, w := range s.workloads {
-		num(int64(idOf(w)))
+		b = appendNum(b, int64(idOf(w)))
 	}
 	if s.compiled != nil {
 		b = append(b, "|compiled="...)
-		num(int64(idOf(s.compiled)))
+		b = appendNum(b, int64(idOf(s.compiled)))
 		b = append(b, "|sched="...)
 		for _, inv := range s.schedule {
-			num(int64(inv.Unit))
+			b = appendNum(b, int64(inv.Unit))
 			b = append(b, ':')
-			num(inv.N)
+			b = appendNum(b, inv.N)
 		}
 	}
 	b = append(b, "|policy="...)
@@ -518,46 +522,155 @@ func (s RunSpec) memoKey(p *plan, idOf func(any) uint64) string {
 		b = append(b, p.policyName...)
 	case p.policyInst != nil:
 		b = append(b, "inst:"...)
-		num(int64(idOf(p.policyInst)))
+		b = appendNum(b, int64(idOf(p.policyInst)))
 	default:
 		b = append(b, "default"...)
 	}
+	b = appendMachineKey(b, p)
+	return string(b)
+}
+
+// persistKey canonically encodes the spec for the on-disk result store,
+// where keys must be stable across processes: run artifacts are
+// identified by build provenance (catalog program, scale, compiler
+// options) instead of in-memory identity. ok is false when some
+// artifact has no such stable identity — user-compiled kernels, custom
+// policy instances, or hand-assembled workloads — in which case the run
+// is memoized in memory only, never persisted.
+func (s RunSpec) persistKey(p *plan) (string, bool) {
+	if s.compiled != nil || p.policyInst != nil {
+		return "", false
+	}
+	b := make([]byte, 0, 320)
+	b = append(b, "mode="...)
+	b = appendNum(b, int64(s.mode))
+	b = append(b, "|ws="...)
+	for _, w := range s.workloads {
+		id, ok := stableWorkloadID(w)
+		if !ok {
+			return "", false
+		}
+		b = append(b, id...)
+		b = append(b, ',')
+	}
+	b = append(b, "|policy="...)
+	if p.policyName != "" {
+		b = append(b, "name:"...)
+		b = append(b, p.policyName...)
+	} else {
+		b = append(b, "default"...)
+	}
+	b = appendMachineKey(b, p)
+	return string(b), true
+}
+
+// stableWorkloadID derives a process-stable content identity for a
+// workload: the registered catalog spec it was built from, the build
+// inputs (scale, compiler options), and a fingerprint of the built
+// artifact's dynamic profile. Hand-assembled workloads — a Spec not in
+// the catalog, or none at all — have no such identity.
+//
+// The fingerprint hashes the workload's full dynamic statistics
+// (including the per-opcode histogram), so editing a benchmark kernel,
+// the compiler, or the calibration planner changes the key and retires
+// every stored result built from the old code — a store directory that
+// outlives a source change misses instead of serving stale Reports.
+// (Changes to the cycle engine itself alter Reports without altering
+// workloads; those must bump store.Schema, and the golden CI gate is
+// what detects them.)
+func stableWorkloadID(w *workload.Workload) (string, bool) {
+	if w == nil || w.Spec == nil || w.Trace == nil || workload.ByName(w.Spec.Name) != w.Spec {
+		return "", false
+	}
+	id := w.Spec.Name + "@" + strconv.FormatFloat(w.Scale, 'g', -1, 64)
+	if w.Opts.NoHoist {
+		id += "+nohoist"
+	}
+	if rf := w.Opts.RegFile.BuildKey(); rf != arch.DefaultRegFile().BuildKey() {
+		id += fmt.Sprintf("+rf%d.%d.%d", rf.VRegs, rf.VLen, rf.VRegsPerBank)
+	}
+	return id + "+fp" + strconv.FormatUint(statsFingerprint(&w.Stats), 16), true
+}
+
+// statsFingerprint hashes a dynamic profile (FNV-1a over every counter,
+// including the per-opcode histogram). It is a pure function of the
+// workload's content, so it is identical across processes and build
+// orders.
+func statsFingerprint(st *prog.Stats) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v int64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime64
+		}
+	}
+	mix(st.ScalarInsts)
+	mix(st.VectorInsts)
+	mix(st.VectorOps)
+	mix(st.VectorArithElems)
+	mix(st.FU2OnlyArithElems)
+	mix(st.VectorMemElems)
+	mix(st.ScalarMemRefs)
+	mix(st.VectorLoadElems)
+	mix(st.VectorStoreElems)
+	for _, n := range st.PerOp {
+		mix(n)
+	}
+	return h
+}
+
+// appendNum is the keys' shared integer encoding.
+func appendNum(b []byte, v int64) []byte {
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, ',')
+}
+
+// appendMachineKey encodes the machine-shape and stop-rule dimensions a
+// run's Report depends on — contexts, the full register-file
+// organization (arch/VLen dims), FU mix, latency tables, memory system,
+// flags, issue width and stop bounds. The memo key and the persist key
+// share this tail; they differ only in how run artifacts are named.
+func appendMachineKey(b []byte, p *plan) []byte {
 	b = append(b, "|ctx="...)
-	num(int64(p.cfg.Contexts))
+	b = appendNum(b, int64(p.cfg.Contexts))
 	b = append(b, "|rf="...)
 	rf := &p.cfg.RegFile
-	num(int64(rf.VRegs))
-	num(int64(rf.VLen))
-	num(int64(rf.VRegsPerBank))
-	num(int64(rf.BankReadPorts))
-	num(int64(rf.BankWritePorts))
+	b = appendNum(b, int64(rf.VRegs))
+	b = appendNum(b, int64(rf.VLen))
+	b = appendNum(b, int64(rf.VRegsPerBank))
+	b = appendNum(b, int64(rf.BankReadPorts))
+	b = appendNum(b, int64(rf.BankWritePorts))
 	if rf.PartitionPerContext {
 		b = append(b, 'p')
 	}
 	b = append(b, "|fu="...)
-	num(int64(p.cfg.RestrictedFUs))
-	num(int64(p.cfg.GeneralFUs))
-	num(int64(p.cfg.MaxContexts))
+	b = appendNum(b, int64(p.cfg.RestrictedFUs))
+	b = appendNum(b, int64(p.cfg.GeneralFUs))
+	b = appendNum(b, int64(p.cfg.MaxContexts))
 	b = append(b, "|lat="...)
 	lat := &p.cfg.Lat
 	for _, tab := range [][]int{lat.ScalarInt[:], lat.ScalarFP[:], lat.Vector[:]} {
 		for _, v := range tab {
-			num(int64(v))
+			b = appendNum(b, int64(v))
 		}
 		b = append(b, ';')
 	}
-	num(int64(lat.VectorStartup))
-	num(int64(lat.ReadXbar))
-	num(int64(lat.WriteXbar))
+	b = appendNum(b, int64(lat.VectorStartup))
+	b = appendNum(b, int64(lat.ReadXbar))
+	b = appendNum(b, int64(lat.WriteXbar))
 	b = append(b, "|mem="...)
 	mem := &p.cfg.Mem
-	num(int64(mem.Latency))
-	num(int64(mem.ScalarLatency))
-	num(int64(mem.GeneralPorts))
-	num(int64(mem.LoadPorts))
-	num(int64(mem.StorePorts))
-	num(int64(mem.Banks))
-	num(int64(mem.BankBusy))
+	b = appendNum(b, int64(mem.Latency))
+	b = appendNum(b, int64(mem.ScalarLatency))
+	b = appendNum(b, int64(mem.GeneralPorts))
+	b = appendNum(b, int64(mem.LoadPorts))
+	b = appendNum(b, int64(mem.StorePorts))
+	b = appendNum(b, int64(mem.Banks))
+	b = appendNum(b, int64(mem.BankBusy))
 	b = append(b, "|flags="...)
 	for _, f := range [...]bool{p.cfg.DualScalar, p.cfg.RecordSpans, p.cfg.DisableFastForward, p.stop.Thread0Complete} {
 		if f {
@@ -567,9 +680,9 @@ func (s RunSpec) memoKey(p *plan, idOf func(any) uint64) string {
 		}
 	}
 	b = append(b, "|iw="...)
-	num(int64(p.cfg.IssueWidth))
+	b = appendNum(b, int64(p.cfg.IssueWidth))
 	b = append(b, "|stop="...)
-	num(p.stop.MaxThread0Insts)
-	num(p.stop.MaxCycles)
-	return string(b)
+	b = appendNum(b, p.stop.MaxThread0Insts)
+	b = appendNum(b, p.stop.MaxCycles)
+	return b
 }

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtvec/internal/stats"
+)
+
+// sampleReport builds a fully-populated report so round-trips cover
+// every field, including nested slices.
+func sampleReport() *stats.Report {
+	return &stats.Report{
+		Cycles:         123456,
+		Breakdown:      stats.Breakdown{10, 20, 30, 40, 50, 60, 70, 80},
+		MemBusyCycles:  999,
+		MemRequests:    888,
+		MemPorts:       1,
+		VectorArithOps: 777,
+		VectorOps:      1777,
+		Insts:          555,
+		LostDecode:     44,
+		Threads: []stats.ThreadReport{
+			{Program: "tf", Completions: 1, PartialInsts: 0, Dispatched: 555},
+			{Program: "sw", Completions: 3, PartialInsts: 17, Dispatched: 444},
+		},
+		Spans: []stats.Span{
+			{Thread: 0, Program: "tf", Start: 0, End: 1000},
+			{Thread: 1, Program: "sw", Start: 5, End: 950},
+		},
+	}
+}
+
+func TestRoundTripByteIdentical(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "mode=1,|ws=tf@0.001,|policy=default|ctx=1,"
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	want := sampleReport()
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("stored record not found")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Byte-identical: the canonical JSON of the reread report matches
+	// the original's exactly.
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if string(gb) != string(wb) {
+		t.Fatalf("JSON round trip differs:\ngot  %s\nwant %s", gb, wb)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Corrupt != 0 {
+		t.Errorf("stats %+v, want 1 hit / 1 miss / 1 write", st)
+	}
+}
+
+func TestReopenSurvivesProcessBoundary(t *testing.T) {
+	dir := t.TempDir()
+	key := "some-key"
+	want := sampleReport()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	// A second Store over the same directory models a new process.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("record invisible after reopen")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("reopened record differs")
+	}
+}
+
+// corruptions lists the ways a record file can go bad; each must read
+// as a miss and be deleted, never served.
+func TestCorruptRecordsRecovered(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(path string, t *testing.T)
+	}{
+		{"truncated", func(p string, t *testing.T) {
+			data, _ := os.ReadFile(p)
+			os.WriteFile(p, data[:len(data)/2], 0o644)
+		}},
+		{"bitflip-payload", func(p string, t *testing.T) {
+			data, _ := os.ReadFile(p)
+			// Flip a digit inside the report payload without breaking
+			// the JSON: the integrity hash must catch it.
+			var rec record
+			if err := json.Unmarshal(data, &rec); err != nil {
+				t.Fatal(err)
+			}
+			rec.Report = []byte(`{"Cycles":1}`)
+			out, _ := json.Marshal(rec)
+			os.WriteFile(p, out, 0o644)
+		}},
+		{"wrong-schema", func(p string, t *testing.T) {
+			data, _ := os.ReadFile(p)
+			var rec record
+			if err := json.Unmarshal(data, &rec); err != nil {
+				t.Fatal(err)
+			}
+			rec.Schema = Schema + 1
+			out, _ := json.Marshal(rec)
+			os.WriteFile(p, out, 0o644)
+		}},
+		{"wrong-key", func(p string, t *testing.T) {
+			data, _ := os.ReadFile(p)
+			var rec record
+			if err := json.Unmarshal(data, &rec); err != nil {
+				t.Fatal(err)
+			}
+			rec.Key = "someone-else"
+			out, _ := json.Marshal(rec)
+			os.WriteFile(p, out, 0o644)
+		}},
+		{"not-json", func(p string, t *testing.T) {
+			os.WriteFile(p, []byte("hello\x00world"), 0o644)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const key = "k"
+			if err := s.Put(key, sampleReport()); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(s.path(key), t)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt record served")
+			}
+			if s.Stats().Corrupt != 1 {
+				t.Errorf("corrupt counter = %d, want 1", s.Stats().Corrupt)
+			}
+			if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+				t.Error("corrupt record not deleted")
+			}
+			// The slot heals: a rewrite serves again.
+			if err := s.Put(key, sampleReport()); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(key); !ok {
+				t.Fatal("healed record not served")
+			}
+		})
+	}
+}
+
+func TestDoComputesOnceAcrossStores(t *testing.T) {
+	// Two Stores on one directory model two processes: under Do only one
+	// computes per key, the rest serve the winner's record.
+	dir := t.TempDir()
+	var stores []*Store
+	for i := 0; i < 2; i++ {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetLockTuning(time.Minute, time.Millisecond)
+		stores = append(stores, s)
+	}
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	const key = "shared"
+	reps := make([]*stats.Report, 8)
+	for i := 0; i < len(reps); i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, _, err := stores[i%2].Do(context.Background(), key, func() (*stats.Report, error) {
+				computes.Add(1)
+				time.Sleep(20 * time.Millisecond) // widen the race window
+				return sampleReport(), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reps[i] = rep
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	// Counters tally one event per logical Do: 1 miss (the computer) and
+	// 7 hits across the two stores, regardless of internal re-checks.
+	var hits, misses int64
+	for _, s := range stores {
+		hits += s.Stats().Hits
+		misses += s.Stats().Misses
+	}
+	if hits != 7 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 7/1", hits, misses)
+	}
+	want, _ := json.Marshal(sampleReport())
+	for i, rep := range reps {
+		got, _ := json.Marshal(rep)
+		if string(got) != string(want) {
+			t.Errorf("caller %d got a different report", i)
+		}
+	}
+}
+
+func TestDoFailedComputeNotPersisted(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLockTuning(time.Minute, time.Millisecond)
+	boom := errors.New("boom")
+	if _, _, err := s.Do(context.Background(), "k", func() (*stats.Report, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("failed compute persisted")
+	}
+	// The lock must be released: a follow-up compute proceeds promptly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, _, err := s.Do(context.Background(), "k", func() (*stats.Report, error) {
+			return sampleReport(), nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lock leaked by failed compute")
+	}
+}
+
+func TestDoCancelledWhileWaiting(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLockTuning(time.Minute, 5*time.Millisecond)
+	// Hold the lock from a fake peer.
+	unlock, err := s.lock(context.Background(), "k")
+	if err != nil || unlock == nil {
+		t.Fatalf("seed lock: %v", err)
+	}
+	defer unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, _, err = s.Do(ctx, "k", func() (*stats.Report, error) {
+		t.Error("compute ran despite held lock")
+		return sampleReport(), nil
+	})
+	if !IsContextErr(err) {
+		t.Fatalf("err = %v, want context error", err)
+	}
+}
+
+func TestStaleLockStolen(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLockTuning(50*time.Millisecond, 5*time.Millisecond)
+	// Plant a lock and age it: a holder that never returns.
+	lockPath := s.path("k") + ".lock"
+	os.MkdirAll(filepath.Dir(lockPath), 0o755)
+	if err := os.WriteFile(lockPath, []byte("dead\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	os.Chtimes(lockPath, old, old)
+
+	rep, fromStore, err := s.Do(context.Background(), "k", func() (*stats.Report, error) {
+		return sampleReport(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStore || rep == nil {
+		t.Fatal("stale lock not stolen")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}
+
+func TestPathSharding(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.path("some-key")
+	rel, err := filepath.Rel(s.root, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Base(filepath.Dir(p))
+	base := filepath.Base(p)
+	if len(dir) != 2 || base[:2] != dir {
+		t.Errorf("path %q not sharded by leading hash byte", rel)
+	}
+}

@@ -58,6 +58,12 @@ type Workload struct {
 	Scale float64
 	Trace *trace.Trace
 	Stats prog.Stats
+
+	// Opts is the build's compiler provenance. Together with Spec and
+	// Scale it makes the workload a pure function of declarative inputs,
+	// which is what lets the persistent result store key runs on content
+	// instead of process-local object identity.
+	Opts vcomp.Options
 }
 
 // Build compiles the benchmark and solves the invocation schedule for the
@@ -94,7 +100,7 @@ func (s *Spec) BuildOpts(scale float64, opts vcomp.Options) (*Workload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: generated trace does not replay: %w", s.Name, err)
 	}
-	return &Workload{Spec: s, Scale: scale, Trace: tr, Stats: st}, nil
+	return &Workload{Spec: s, Scale: scale, Trace: tr, Stats: st, Opts: opts}, nil
 }
 
 // Stream returns a fresh dynamic instruction stream of the workload.

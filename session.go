@@ -5,6 +5,7 @@ import (
 
 	"mtvec/internal/core"
 	"mtvec/internal/session"
+	"mtvec/internal/store"
 )
 
 // Unified run API: Session + RunSpec + functional options.
@@ -57,6 +58,33 @@ type ProgressFunc = core.ProgressFunc
 // SwitchCounter is a built-in observer counting decode thread switches.
 type SwitchCounter = core.SwitchCounter
 
+// Store is a persistent, content-addressed on-disk result store — the
+// second cache tier under a Session's in-memory memo. Records carry
+// integrity hashes and a format version; corrupt or stale entries are
+// recomputed, never trusted, and cross-process single-flight (lock
+// files) lets any number of processes share one store directory while
+// simulating each distinct point once. See docs/API.md.
+type Store = store.Store
+
+// StoreStats is a snapshot of a store's hit/miss/write/corrupt counters.
+type StoreStats = store.Stats
+
+// OpenStore creates (if needed) and opens the result store rooted at
+// dir. Attach it with WithStore, Session.SetStore or Env.SetStore.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// RunSource names the cache tier that answered a Session.RunTracked
+// call: a fresh simulation, the in-memory memo, or the persistent
+// store.
+type RunSource = session.Source
+
+// Run sources.
+const (
+	RunFromSim   = session.SourceSim
+	RunFromMemo  = session.SourceMemo
+	RunFromStore = session.SourceStore
+)
+
 // NewSession creates a run session. Memoization is on by default
 // (disable with WithoutMemo); the simulation concurrency bound defaults
 // to runtime.NumCPU() (change with WithJobs or Session.SetJobs).
@@ -68,6 +96,11 @@ func WithJobs(n int) SessionOption { return session.WithJobs(n) }
 
 // WithoutMemo disables a new session's run cache: every Run simulates.
 func WithoutMemo() SessionOption { return session.WithoutMemo() }
+
+// WithStore attaches a persistent result store to a new session; runs
+// with stable content identities are then served from and written
+// through to disk.
+func WithStore(st *Store) SessionOption { return session.WithStore(st) }
 
 // Solo declares a reference run: w alone on thread 0, to completion.
 func Solo(w *Workload, opts ...RunOption) RunSpec { return session.Solo(w, opts...) }
