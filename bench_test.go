@@ -178,3 +178,64 @@ func BenchmarkSessionRunMemoized(b *testing.B) {
 		}
 	}
 }
+
+// Lockstep batch engine: the same memo-missed eight-point latency sweep
+// over one compiled kernel, dispatched per point (batching off) and
+// through the batch engine. Both sessions run on a single gate slot so
+// the comparison is work per core, not parallelism: the batch's win is
+// the trace synthesis + predecode hoisted out of the per-point loop and
+// the shared trace window staying cache-hot across the eight lanes
+// (docs/PERF.md, "Lockstep batching").
+
+func benchSweepCompiled(b *testing.B) *mtvec.Compiled {
+	b.Helper()
+	x := &mtvec.Array{Name: "x", Base: 0x10000, Stride: 8}
+	y := &mtvec.Array{Name: "y", Base: 0x20000, Stride: 8}
+	kern := &mtvec.Kernel{Name: "daxpy-setup"}
+	kern.Units = append(kern.Units,
+		&mtvec.VectorLoop{
+			Name: "daxpy",
+			Body: []mtvec.Stmt{{
+				Dst: y,
+				E: &mtvec.Bin{Op: mtvec.Add,
+					L: &mtvec.Bin{Op: mtvec.Mul, L: &mtvec.ScalarArg{Name: "a"}, R: &mtvec.Ref{Arr: x}},
+					R: &mtvec.Ref{Arr: y}},
+			}},
+		},
+		&mtvec.ScalarLoop{Name: "setup", Loads: 2, Stores: 1, IntOps: 3, FPOps: 1},
+	)
+	c, err := mtvec.CompileKernel(kern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchBatchSweep(b *testing.B, batching bool) {
+	c := benchSweepCompiled(b)
+	sched := []mtvec.Invocation{
+		{Unit: 1, N: 1 << 14},
+		{Unit: 0, N: 1 << 14},
+		{Unit: 1, N: 1 << 14},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := []mtvec.SessionOption{mtvec.WithJobs(1)}
+		if !batching {
+			opts = append(opts, mtvec.WithoutBatching())
+		}
+		ses := mtvec.NewSession(opts...)
+		specs := make([]mtvec.RunSpec, 8)
+		for k := range specs {
+			specs[k] = mtvec.CompiledRun(c, sched, mtvec.WithMemLatency(30+10*k))
+		}
+		if _, err := ses.RunAll(ctx, specs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchSweep(b *testing.B)    { benchBatchSweep(b, true) }
+func BenchmarkPerPointSweep(b *testing.B) { benchBatchSweep(b, false) }

@@ -148,7 +148,69 @@ func benchCases(scale float64) ([]benchCase, error) {
 		sessionCase("session/run", plain, true),
 		sessionCase("session/memoized", memo, false),
 	)
+
+	// Lockstep batch engine vs per-point dispatch: the same memo-missed
+	// eight-point latency sweep over one compiled kernel, on one gate
+	// slot either way so the comparison is work per core, not
+	// parallelism. sweep/perpoint ns/op over sweep/batch8 ns/op is the
+	// recorded batch speedup (docs/PERF.md, "Lockstep batching").
+	sweepKernel, err := compileSweepKernel()
+	if err != nil {
+		return nil, err
+	}
+	sweepSched := []mtvec.Invocation{
+		{Unit: 1, N: 1 << 14},
+		{Unit: 0, N: 1 << 14},
+		{Unit: 1, N: 1 << 14},
+	}
+	sweep := func(batching bool) func() (int64, error) {
+		return func() (int64, error) {
+			opts := []mtvec.SessionOption{mtvec.WithJobs(1)}
+			if !batching {
+				opts = append(opts, mtvec.WithoutBatching())
+			}
+			ses := mtvec.NewSession(opts...)
+			specs := make([]mtvec.RunSpec, 8)
+			for k := range specs {
+				specs[k] = mtvec.CompiledRun(sweepKernel, sweepSched, mtvec.WithMemLatency(30+10*k))
+			}
+			reps, err := ses.RunAll(ctx, specs...)
+			if err != nil {
+				return 0, err
+			}
+			var cycles int64
+			for _, rep := range reps {
+				cycles += rep.Cycles
+			}
+			return cycles, nil
+		}
+	}
+	cases = append(cases,
+		benchCase{name: "sweep/batch8", fn: sweep(true)},
+		benchCase{name: "sweep/perpoint", fn: sweep(false)},
+	)
 	return cases, nil
+}
+
+// compileSweepKernel builds the daxpy-plus-setup kernel the batch-sweep
+// cases run, mirroring the repository's BenchmarkBatchSweep.
+func compileSweepKernel() (*mtvec.Compiled, error) {
+	x := &mtvec.Array{Name: "x", Base: 0x10000, Stride: 8}
+	y := &mtvec.Array{Name: "y", Base: 0x20000, Stride: 8}
+	kern := &mtvec.Kernel{Name: "daxpy-setup"}
+	kern.Units = append(kern.Units,
+		&mtvec.VectorLoop{
+			Name: "daxpy",
+			Body: []mtvec.Stmt{{
+				Dst: y,
+				E: &mtvec.Bin{Op: mtvec.Add,
+					L: &mtvec.Bin{Op: mtvec.Mul, L: &mtvec.ScalarArg{Name: "a"}, R: &mtvec.Ref{Arr: x}},
+					R: &mtvec.Ref{Arr: y}},
+			}},
+		},
+		&mtvec.ScalarLoop{Name: "setup", Loads: 2, Stores: 1, IntOps: 3, FPOps: 1},
+	)
+	return mtvec.CompileKernel(kern)
 }
 
 // measure runs one case for at least benchtime and returns its stats.

@@ -15,7 +15,6 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"mtvec"
@@ -295,27 +294,23 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Fan out; the session's jobs gate bounds actual simulation
-	// concurrency, and shared points collapse onto one simulation.
+	// Fan out through the session's batched sweep engine: memo-missed
+	// points sharing a workload simulate as lockstep batch lanes, the
+	// jobs gate bounds actual simulation concurrency, and shared points
+	// collapse onto one simulation. Per-point cache metadata is
+	// unchanged; a batched point's elapsed time is the wall time until
+	// its whole batch resolved.
 	start := time.Now()
-	var wg sync.WaitGroup
-	for i := range specs {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			pstart := time.Now()
-			rep, src, err := s.ses.RunTracked(r.Context(), specs[i])
-			points[i].ElapsedMS = msSince(pstart)
-			if err != nil {
-				points[i].Error = err.Error()
-				return
-			}
-			points[i].Cache = src.String()
-			points[i].Report = rep
-		}()
+	results := s.ses.RunAllTracked(r.Context(), specs...)
+	for i, res := range results {
+		points[i].ElapsedMS = res.Elapsed.Seconds() * 1e3
+		if res.Err != nil {
+			points[i].Error = res.Err.Error()
+			continue
+		}
+		points[i].Cache = res.Source.String()
+		points[i].Report = res.Report
 	}
-	wg.Wait()
 	if r.Context().Err() != nil {
 		return // client went away mid-sweep
 	}

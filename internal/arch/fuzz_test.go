@@ -1,0 +1,95 @@
+package arch
+
+import "testing"
+
+// FuzzSpecValidate drives randomized machine shapes through the
+// Validate → ValidateContexts → Derive pipeline. The properties under
+// test:
+//
+//   - no input panics any of the three (they must diagnose, not crash);
+//   - Derive succeeds exactly when both validations pass — there is no
+//     shape the validators accept that the derivation then chokes on;
+//   - every Derived table a validated shape produces satisfies the
+//     invariants the engine's fixed-size scans assume (register and
+//     bank indices in range, FU lanes within the cap, partitioned
+//     files splitting exactly).
+//
+// The corpus is seeded from the preset shapes at several context
+// counts, plus targeted mutants (partitioned files, degenerate bank
+// geometry, out-of-cap values) so the fuzzer starts at the boundaries.
+func FuzzSpecValidate(f *testing.F) {
+	seed := func(s Spec, contexts int, partition bool) {
+		f.Add(s.VRegs, s.VLen, s.VRegsPerBank, s.BankReadPorts, s.BankWritePorts,
+			s.MaxContexts, s.RestrictedFUs, s.GeneralFUs, s.IssueWidth,
+			s.Mem.Latency, contexts, partition)
+	}
+	for _, p := range Presets() {
+		seed(p, 1, false)
+		seed(p, p.MaxContexts, false)
+		seed(p, 2, true)
+	}
+	// Boundary mutants: a partitioned file that splits a bank, a
+	// one-register file, values straddling every cap.
+	f.Add(8, 128, 2, 2, 1, 8, 1, 1, 1, 70, 4, true)
+	f.Add(1, 1, 1, 1, 1, 1, 0, 1, 1, 1, 1, false)
+	f.Add(MaxVRegs, MaxVLen, 1, 1, 1, MaxMachineContexts, 0, MaxVectorFUs, 1, 100, 64, true)
+	f.Add(MaxVRegs+1, MaxVLen+1, 0, 0, 0, 0, -1, 0, 0, -5, 0, false)
+
+	f.Fuzz(func(t *testing.T, vregs, vlen, perBank, rdPorts, wrPorts,
+		maxCtx, rFU, gFU, iw, memLat, contexts int, partition bool) {
+		s := ConvexC3400() // valid Lat table; Mem mutated below
+		s.Name = "fuzz"
+		s.RegFile = RegFile{
+			VRegs:               vregs,
+			VLen:                vlen,
+			VRegsPerBank:        perBank,
+			BankReadPorts:       rdPorts,
+			BankWritePorts:      wrPorts,
+			PartitionPerContext: partition,
+		}
+		s.MaxContexts = maxCtx
+		s.RestrictedFUs = rFU
+		s.GeneralFUs = gFU
+		s.IssueWidth = iw
+		s.Mem.Latency = memLat
+
+		verr := s.Validate()
+		var cerr error
+		if verr == nil {
+			cerr = s.ValidateContexts(contexts)
+		}
+		d, derr := s.Derive(contexts)
+
+		if (derr == nil) != (verr == nil && cerr == nil) {
+			t.Fatalf("Derive error %v disagrees with Validate %v / ValidateContexts %v", derr, verr, cerr)
+		}
+		if derr != nil {
+			return
+		}
+
+		// Invariants of a derived table the engine relies on.
+		if d.CtxVRegs < 1 || d.CtxVRegs > s.VRegs || d.CtxVRegs > MaxVRegs {
+			t.Fatalf("CtxVRegs %d out of range (VRegs %d)", d.CtxVRegs, s.VRegs)
+		}
+		if partition && d.CtxVRegs*contexts != s.VRegs {
+			t.Fatalf("partitioned split %d×%d != %d registers", d.CtxVRegs, contexts, s.VRegs)
+		}
+		if d.NumBanks < 1 {
+			t.Fatalf("NumBanks %d < 1", d.NumBanks)
+		}
+		for v := 0; v < d.CtxVRegs; v++ {
+			if int(d.BankOf[v]) >= d.NumBanks {
+				t.Fatalf("BankOf[%d] = %d beyond %d banks", v, d.BankOf[v], d.NumBanks)
+			}
+		}
+		if int(d.VLMax) != s.VLen {
+			t.Fatalf("VLMax %d != VLen %d", d.VLMax, s.VLen)
+		}
+		if d.TotalFUs != rFU+gFU || d.TotalFUs > MaxVectorFUs || d.RestrictedFUs != rFU {
+			t.Fatalf("FU layout %d/%d disagrees with spec %d+%d", d.RestrictedFUs, d.TotalFUs, rFU, gFU)
+		}
+		if d.BankReadPorts != rdPorts || d.BankWritePorts != wrPorts {
+			t.Fatalf("ports %d/%d disagree with spec %d/%d", d.BankReadPorts, d.BankWritePorts, rdPorts, wrPorts)
+		}
+	})
+}

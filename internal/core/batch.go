@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mtvec/internal/stats"
+)
+
+// DefaultBatchWindow is the lockstep window in dispatched dynamic
+// instructions: how far one lane advances before the batch moves on to
+// the next. Small enough that the trace region the lanes are walking
+// stays cache-resident across all of them, large enough to amortize the
+// resume overhead; SetWindow tunes it.
+const DefaultBatchWindow = 2048
+
+// batchSlab is the shared structure-of-arrays allocation behind a
+// Batch: every lane's hardware contexts, vector register windows and
+// bank port windows live in one contiguous block per state kind, so the
+// lockstep loop walks dense memory instead of N scattered machines.
+type batchSlab struct {
+	ctxs  []hwContext
+	vregs []vregState
+	banks []bankState
+}
+
+func (s *batchSlab) takeCtxs(n int) []hwContext {
+	out := s.ctxs[:n:n]
+	s.ctxs = s.ctxs[n:]
+	return out
+}
+
+func (s *batchSlab) takeVRegs(n int) []vregState {
+	out := s.vregs[:n:n]
+	s.vregs = s.vregs[n:]
+	return out
+}
+
+func (s *batchSlab) takeBanks(n int) []bankState {
+	out := s.banks[:n:n]
+	s.banks = s.banks[n:]
+	return out
+}
+
+// Batch advances N independently configured machines ("lanes") in
+// lockstep windows over their instruction streams. Lanes share no
+// mutable state — each is a complete Machine with its own clock,
+// scoreboards and memory model, carved out of one batch-wide
+// structure-of-arrays slab — so every lane's Report is byte-identical
+// to the same configuration run solo, by construction. What lanes do
+// share is their input: when all lanes replay the same predecoded
+// trace (a sweep over machine parameters), the lockstep window keeps
+// the trace region being walked hot in cache across all of them
+// instead of re-streaming the whole trace once per lane.
+//
+// A Batch is single-use, like the machines it owns: build it, attach
+// each lane's threads through Machine(i), run once, read the per-lane
+// results. Batches are not safe for concurrent use.
+type Batch struct {
+	lanes  []*Machine
+	window int64
+	ran    bool
+}
+
+// NewBatch builds one machine per config, allocating all lanes' mutable
+// state out of shared structure-of-arrays slabs. Any invalid config
+// fails the whole batch.
+func NewBatch(cfgs []Config) (*Batch, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("core: batch needs at least one lane config")
+	}
+	// Pre-derive every lane's shape to size the shared slabs.
+	var slab batchSlab
+	nctx, nvregs, nbanks := 0, 0, 0
+	for i := range cfgs {
+		cfg := cfgs[i].Normalized()
+		der, err := cfg.Spec.Derive(cfg.Contexts)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch lane %d: %w", i, err)
+		}
+		nctx += cfg.Contexts
+		nvregs += cfg.Contexts * der.CtxVRegs
+		nbanks += cfg.Contexts * der.NumBanks
+	}
+	slab.ctxs = make([]hwContext, nctx)
+	slab.vregs = make([]vregState, nvregs)
+	slab.banks = make([]bankState, nbanks)
+	b := &Batch{lanes: make([]*Machine, len(cfgs)), window: DefaultBatchWindow}
+	for i := range cfgs {
+		m, err := newMachine(cfgs[i], &slab)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch lane %d: %w", i, err)
+		}
+		b.lanes[i] = m
+	}
+	return b, nil
+}
+
+// Lanes returns the number of lanes.
+func (b *Batch) Lanes() int { return len(b.lanes) }
+
+// Machine returns lane i's machine for thread attachment (SetThread,
+// SetThreadStream). Do not call its Run methods — the batch drives it.
+func (b *Batch) Machine(i int) *Machine { return b.lanes[i] }
+
+// SetWindow changes the lockstep window (dispatched instructions per
+// lane per round); n <= 0 keeps the current value. The window never
+// affects results, only locality.
+func (b *Batch) SetWindow(n int64) {
+	if n > 0 {
+		b.window = n
+	}
+}
+
+// Run advances all lanes to completion and returns the per-lane reports
+// and errors (both always len Lanes(); exactly one of reps[i], errs[i]
+// is non-nil).
+func (b *Batch) Run(stops []Stop) ([]*stats.Report, []error) {
+	return b.RunContext(context.Background(), stops)
+}
+
+// RunContext is Run with cancellation: lanes that have not finished
+// when ctx is cancelled report ctx.Err() and no Report, exactly like a
+// cancelled solo RunContext. stops[i] is lane i's stop rule.
+//
+// The lockstep loop raises a shared dispatched-instruction target each
+// round and advances every live lane up to it; lanes that finish (or
+// fail) drop out of the active mask, and the loop ends when the mask is
+// empty. Because each lane pauses only between cycles and resumes from
+// exactly the machine state it paused in, the schedule of pauses is
+// invisible in the results.
+func (b *Batch) RunContext(ctx context.Context, stops []Stop) ([]*stats.Report, []error) {
+	n := len(b.lanes)
+	reps := make([]*stats.Report, n)
+	errs := make([]error, n)
+	if len(stops) != n {
+		err := fmt.Errorf("core: batch has %d lanes, got %d stops", n, len(stops))
+		for i := range errs {
+			errs[i] = err
+		}
+		return reps, errs
+	}
+	if b.ran {
+		err := fmt.Errorf("core: batch already ran; build a new one")
+		for i := range errs {
+			errs[i] = err
+		}
+		return reps, errs
+	}
+	b.ran = true
+
+	active := make([]bool, n)
+	live := 0
+	for i, m := range b.lanes {
+		if err := m.begin(); err != nil {
+			errs[i] = err
+			continue
+		}
+		active[i] = true
+		live++
+	}
+	for target := b.window; live > 0; target += b.window {
+		for i := range b.lanes {
+			if !active[i] {
+				continue
+			}
+			finished, err := b.lanes[i].runLoop(ctx, stops[i], target)
+			if err != nil {
+				errs[i], active[i] = err, false
+				live--
+				continue
+			}
+			if finished {
+				reps[i], errs[i] = b.lanes[i].finish(stops[i])
+				active[i] = false
+				live--
+			}
+		}
+	}
+	return reps, errs
+}

@@ -213,11 +213,17 @@ type Machine struct {
 	progressStride Cycle
 	nextProgress   Cycle
 
-	ran bool
+	ran    bool
+	primed bool
 }
 
 // New builds a machine from cfg.
-func New(cfg Config) (*Machine, error) {
+func New(cfg Config) (*Machine, error) { return newMachine(cfg, nil) }
+
+// newMachine builds a machine, carving its mutable state out of slab
+// when non-nil (batch lanes share one structure-of-arrays allocation
+// per state kind) and self-allocating otherwise.
+func newMachine(cfg Config, slab *batchSlab) (*Machine, error) {
 	cfg = cfg.Normalized()
 	// Derive runs the spec- and context-level validation; only the two
 	// cross-knob checks of Config.Validate remain.
@@ -279,10 +285,22 @@ func New(cfg Config) (*Machine, error) {
 
 	// One contiguous block per state kind: the contexts themselves, then
 	// every context's register and bank windows, sliced out of shared
-	// backing arrays so multi-context scans stay cache-friendly.
-	m.ctxs = make([]hwContext, cfg.Contexts)
-	vregs := make([]vregState, cfg.Contexts*der.CtxVRegs)
-	banks := make([]bankState, cfg.Contexts*der.NumBanks)
+	// backing arrays so multi-context scans stay cache-friendly. Batch
+	// lanes take their blocks from one batch-wide slab instead, keeping
+	// all lanes' state dense for the lockstep loop.
+	var (
+		vregs []vregState
+		banks []bankState
+	)
+	if slab != nil {
+		m.ctxs = slab.takeCtxs(cfg.Contexts)
+		vregs = slab.takeVRegs(cfg.Contexts * der.CtxVRegs)
+		banks = slab.takeBanks(cfg.Contexts * der.NumBanks)
+	} else {
+		m.ctxs = make([]hwContext, cfg.Contexts)
+		vregs = make([]vregState, cfg.Contexts*der.CtxVRegs)
+		banks = make([]bankState, cfg.Contexts*der.NumBanks)
+	}
 	for i := range m.ctxs {
 		c := &m.ctxs[i]
 		c.vregs = vregs[i*der.CtxVRegs : (i+1)*der.CtxVRegs : (i+1)*der.CtxVRegs]
@@ -406,15 +424,38 @@ const cancelCheckStride Cycle = 1 << 12
 // a run that reached its stop condition — and an uncancelled RunContext
 // is byte-identical to Run.
 func (m *Machine) RunContext(ctx context.Context, stop Stop) (*stats.Report, error) {
+	if err := m.begin(); err != nil {
+		return nil, err
+	}
+	if _, err := m.runLoop(ctx, stop, 0); err != nil {
+		return nil, err
+	}
+	return m.finish(stop)
+}
+
+// begin marks the single-use machine as consumed.
+func (m *Machine) begin() error {
 	if m.ran {
-		return nil, fmt.Errorf("core: machine already ran; build a new one")
+		return fmt.Errorf("core: machine already ran; build a new one")
 	}
 	m.ran = true
+	return nil
+}
 
+// runLoop is the simulation loop in resumable form. It advances the
+// machine until the stop condition triggers or all work drains
+// (finished=true), or — when paceTarget > 0 — until the machine has
+// dispatched at least paceTarget dynamic instructions (finished=false),
+// in which case a later call with a higher target resumes exactly where
+// this one paused. Pausing happens only between cycles and every check
+// is a pure function of machine state, so a paced run steps through the
+// same cycles, in the same order, as a single uninterrupted call: this
+// is what makes Batch lanes byte-identical to solo runs by construction.
+func (m *Machine) runLoop(ctx context.Context, stop Stop, paceTarget int64) (bool, error) {
 	done := ctx.Done()
 	if done != nil {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return false, err
 		}
 	}
 	// Prime every context once; afterwards only contexts that consumed
@@ -422,11 +463,14 @@ func (m *Machine) RunContext(ctx context.Context, stop Stop) (*stats.Report, err
 	// A context's refill is a no-op while its head is pending and
 	// permanent once its job source drains, so the incremental pass is
 	// step-for-step identical to re-probing every context every cycle.
-	for i := range m.ctxs {
-		m.ctxs[i].refill(m)
+	if !m.primed {
+		m.primed = true
+		for i := range m.ctxs {
+			m.ctxs[i].refill(m)
+		}
 	}
 	var (
-		nextCheck = cancelCheckStride
+		nextCheck = m.now + cancelCheckStride
 		maxCycles = stop.MaxCycles
 		maxInsts  = stop.MaxThread0Insts
 		t0done    = stop.Thread0Complete
@@ -434,10 +478,13 @@ func (m *Machine) RunContext(ctx context.Context, stop Stop) (*stats.Report, err
 		nctx      = len(m.ctxs)
 	)
 	for {
+		if paceTarget > 0 && m.dispatched >= paceTarget {
+			return false, nil
+		}
 		if done != nil && m.now >= nextCheck {
 			nextCheck = m.now + cancelCheckStride
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return false, err
 			}
 		}
 		if maxCycles > 0 && m.now >= maxCycles {
@@ -475,7 +522,11 @@ func (m *Machine) RunContext(ctx context.Context, stop Stop) (*stats.Report, err
 			m.notifyProgress()
 		}
 	}
+	return true, nil
+}
 
+// finish surfaces stream errors and assembles the run's Report.
+func (m *Machine) finish(stop Stop) (*stats.Report, error) {
 	if err := m.streamErrors(); err != nil {
 		return nil, err
 	}

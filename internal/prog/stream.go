@@ -84,12 +84,16 @@ type DecodedInst struct {
 	VSrcs [2]uint8 // vector source registers (store data, indices)
 }
 
-// decodeAux fills the precomputed decode fields from the DynInst.
+// decodeAux fills the precomputed decode fields from the DynInst. It
+// zeroes the unused VSrcs slots so entries are canonical values even
+// when the receiver is a reused buffer (DecodeAll, NextDec): two equal
+// dynamic instructions always decode to byte-equal DecodedInsts.
 func (d *DecodedInst) decodeAux() {
 	info := isa.InfoPtr(d.Op)
 	d.Kind = info.Kind
 	d.FU1OK = info.FU1OK
 	d.Load = info.Load
+	d.VSrcs = [2]uint8{}
 	d.NVSrc = uint8(d.Inst.VSources(&d.VSrcs))
 }
 

@@ -1,0 +1,343 @@
+package session
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"mtvec/internal/core"
+	"mtvec/internal/runner"
+	"mtvec/internal/stats"
+)
+
+// Lockstep batching: RunAll groups memo-and-store-missed points that
+// share one instruction supply (same workloads, same compiled kernel
+// and schedule — see RunSpec.provenanceKey) into core.Batch lanes of up
+// to maxBatchLanes, so a machine-parameter sweep walks its shared
+// predecoded trace once per window instead of once per point. Batching
+// is a scheduling detail, never a semantic one: each lane is a complete
+// independent Machine, so per-lane Reports are byte-identical to solo
+// runs (proved by internal/core's differential harness), and every
+// point still resolves through the same memo singleflight, so callers
+// outside RunAll share results exactly as before.
+//
+// Batching is bypassed per point when it could change semantics or
+// cannot help: observer-carrying specs (never memoized), memo-less
+// sessions, provenance groups with a single distinct point, and
+// sessions with SetBatching(false).
+
+// maxBatchLanes bounds one core.Batch: wide enough to amortize the
+// trace walk, narrow enough that all lanes' machine state stays
+// cache-resident alongside the trace window.
+const maxBatchLanes = 8
+
+// WithoutBatching disables RunAll's lockstep batching on a new session:
+// every point dispatches through the per-point path. Results are
+// identical either way; the knob exists for benchmarking the batch
+// engine against per-point dispatch and as an escape hatch.
+func WithoutBatching() SessionOption {
+	return func(s *Session) { s.SetBatching(false) }
+}
+
+// SetBatching toggles RunAll's lockstep batching (on by default).
+// Results never depend on the setting. Safe to call concurrently with
+// runs; in-flight RunAll calls keep the mode they started with.
+func (s *Session) SetBatching(on bool) { s.nobatch.Store(!on) }
+
+// Batching reports whether RunAll lockstep batching is enabled.
+func (s *Session) Batching() bool { return !s.nobatch.Load() }
+
+// Result is one RunAllTracked point: the Report (nil on error), which
+// cache tier answered, the wall time the point took inside RunAll —
+// for a batched point this is the time until its whole batch resolved —
+// and the point's error, if any.
+type Result struct {
+	Report  *stats.Report
+	Source  Source
+	Elapsed time.Duration
+	Err     error
+}
+
+// batchGroup is one chunk of up to maxBatchLanes distinct sweep points
+// sharing an instruction supply. Whichever member's memo closure runs
+// first simulates the whole chunk (under one gate slot); the others
+// read their lane's result. once gives every reader a happens-before
+// edge on the filled slices.
+type batchGroup struct {
+	once  sync.Once
+	specs []RunSpec
+	plans []plan
+
+	reps []*stats.Report
+	srcs []Source
+	errs []error
+}
+
+func (g *batchGroup) run(ctx context.Context, s *Session) {
+	g.once.Do(func() { s.simulateBatch(ctx, g) })
+}
+
+// simulateBatch resolves every lane of the group: store hits are served
+// from disk, the remaining lanes simulate in one core.Batch under a
+// single gate slot, and fresh results are written through to the store.
+// Unlike the per-point path, batched lanes skip the store's
+// cross-process lock-file singleflight — two processes sweeping the
+// same cold points may both simulate them (both write the same bytes);
+// the within-process memo singleflight is unaffected.
+func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
+	n := len(g.specs)
+	g.reps = make([]*stats.Report, n)
+	g.srcs = make([]Source, n)
+	g.errs = make([]error, n)
+
+	st := s.st.Load()
+	keys := make([]string, n)
+	var lanes []int // lane indices that must simulate
+	for i := range g.specs {
+		g.srcs[i] = SourceSim
+		if st != nil {
+			if key, ok := g.specs[i].persistKey(&g.plans[i]); ok {
+				keys[i] = key
+				if rep, ok := st.Get(key); ok {
+					g.reps[i], g.srcs[i] = rep, SourceStore
+					s.storeHits.Add(1)
+					continue
+				}
+			}
+		}
+		lanes = append(lanes, i)
+	}
+	if len(lanes) == 0 {
+		return
+	}
+	fail := func(err error) {
+		for _, i := range lanes {
+			g.errs[i] = err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		return
+	}
+	s.gate.Do(func() {
+		// Re-check after possibly parking on the gate.
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			return
+		}
+		cfgs := make([]core.Config, len(lanes))
+		stops := make([]core.Stop, len(lanes))
+		for k, i := range lanes {
+			cfgs[k] = g.plans[i].cfg
+			stops[k] = g.plans[i].stop
+		}
+		b, err := core.NewBatch(cfgs)
+		if err != nil {
+			fail(err)
+			return
+		}
+		// Compiled groups share kernel and schedule (that is the group
+		// key), so synthesize and predecode the trace once for every
+		// lane instead of once per lane.
+		spec0 := g.specs[lanes[0]]
+		if spec0.mode == ModeCompiled {
+			tr, err := spec0.compiled.Trace(spec0.schedule)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for k := range lanes {
+				if err := b.Machine(k).SetThreadStream(0, spec0.compiled.Prog.Name, tr.Stream()); err != nil {
+					fail(err)
+					return
+				}
+			}
+		} else {
+			bad := false
+			for k, i := range lanes {
+				if err := attachThreads(b.Machine(k), g.specs[i], g.plans[i].cfg); err != nil {
+					g.errs[i] = err
+					bad = true
+				}
+			}
+			if bad {
+				// Rare (a lane's thread attachment failed): the batch
+				// can no longer run as built, so fall back to solo
+				// machines for the healthy lanes, inside this slot.
+				for _, i := range lanes {
+					if g.errs[i] != nil {
+						continue
+					}
+					m, err := core.New(g.plans[i].cfg)
+					if err == nil {
+						err = attachThreads(m, g.specs[i], g.plans[i].cfg)
+					}
+					if err != nil {
+						g.errs[i] = err
+						continue
+					}
+					s.sims.Add(1)
+					g.reps[i], g.errs[i] = m.RunContext(ctx, g.plans[i].stop)
+				}
+				return
+			}
+		}
+		s.sims.Add(int64(len(lanes)))
+		reps, errs := b.RunContext(ctx, stops)
+		for k, i := range lanes {
+			g.reps[i], g.errs[i] = reps[k], errs[k]
+		}
+	})
+	if st != nil {
+		for _, i := range lanes {
+			if keys[i] != "" && g.errs[i] == nil && g.reps[i] != nil {
+				// Write-through is best-effort, like the per-point path.
+				_ = st.Put(keys[i], g.reps[i])
+			}
+		}
+	}
+}
+
+// member routes one RunAll index to its batch group lane.
+type member struct {
+	g    *batchGroup
+	lane int
+}
+
+// planBatches partitions the batchable points (memoizable, prepared)
+// into groups by shared instruction-supply provenance, deduplicates
+// identical points within a group, and chunks each group into batches
+// of up to maxBatchLanes distinct lanes. Chunks of one point gain
+// nothing from the batch engine and stay on the per-point path.
+// Assignment is a pure function of the input order, so which points
+// batch together — and therefore every result — is deterministic.
+func (s *Session) planBatches(specs []RunSpec, plans []plan, ok []bool) []*member {
+	members := make([]*member, len(specs))
+	type provGroup struct {
+		idxs []int          // first occurrence of each distinct point
+		dups map[string]int // memoKey -> position in idxs
+	}
+	byProv := make(map[string]*provGroup)
+	var order []string
+	memoKeys := make([]string, len(specs))
+	for i := range specs {
+		if !ok[i] || !plans[i].memoizable {
+			continue
+		}
+		pk := specs[i].provenanceKey(s.idOf)
+		pg := byProv[pk]
+		if pg == nil {
+			pg = &provGroup{dups: make(map[string]int)}
+			byProv[pk] = pg
+			order = append(order, pk)
+		}
+		mk := specs[i].memoKey(&plans[i], s.idOf)
+		memoKeys[i] = mk
+		if pos, seen := pg.dups[mk]; seen {
+			// Identical point requested twice: both ride the same lane
+			// through the memo singleflight.
+			members[i] = &member{lane: pos} // group filled below
+			continue
+		}
+		pg.dups[mk] = len(pg.idxs)
+		pg.idxs = append(pg.idxs, i)
+	}
+	for _, pk := range order {
+		pg := byProv[pk]
+		for base := 0; base < len(pg.idxs); base += maxBatchLanes {
+			end := base + maxBatchLanes
+			if end > len(pg.idxs) {
+				end = len(pg.idxs)
+			}
+			chunk := pg.idxs[base:end]
+			if len(chunk) < 2 {
+				continue // singleton: per-point path
+			}
+			g := &batchGroup{
+				specs: make([]RunSpec, len(chunk)),
+				plans: make([]plan, len(chunk)),
+			}
+			for lane, i := range chunk {
+				g.specs[lane] = specs[i]
+				g.plans[lane] = plans[i]
+				members[i] = &member{g: g, lane: lane}
+			}
+		}
+	}
+	// Point duplicates at their originals' groups; drop any that landed
+	// on a singleton (no group) back to the per-point path.
+	for i := range members {
+		m := members[i]
+		if m == nil || m.g != nil {
+			continue
+		}
+		pk := specs[i].provenanceKey(s.idOf)
+		pg := byProv[pk]
+		orig := pg.idxs[pg.dups[memoKeys[i]]]
+		if om := members[orig]; om != nil && om.g != nil {
+			members[i] = &member{g: om.g, lane: om.lane}
+		} else {
+			members[i] = nil
+		}
+	}
+	return members
+}
+
+// RunAllTracked is RunAll plus per-point metadata: for each spec, the
+// Report, the cache tier that answered, the point's wall time inside
+// the call, and its error. Results are pinned to input order no matter
+// how the points are scheduled, batched, or cancelled. Memo-and-store-
+// missed points sharing an instruction supply are simulated in lockstep
+// batches of up to 8 lanes (see this file's package comment); every
+// other point takes the same path as Session.RunTracked.
+func (s *Session) RunAllTracked(ctx context.Context, specs ...RunSpec) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(specs)
+	results := make([]Result, n)
+
+	var members []*member
+	plans := make([]plan, n)
+	perr := make([]error, n)
+	if s.memo && s.Batching() {
+		ok := make([]bool, n)
+		for i := range specs {
+			plans[i], perr[i] = specs[i].prepare()
+			ok[i] = perr[i] == nil
+		}
+		members = s.planBatches(specs, plans, ok)
+	} else {
+		members = make([]*member, n)
+		for i := range specs {
+			plans[i], perr[i] = specs[i].prepare()
+		}
+	}
+
+	// The pool only orchestrates: leaf simulations admit through the
+	// session's gate, so width beyond Jobs() just keeps gate slots fed
+	// while some tasks park on shared singleflight entries.
+	pool := runner.New(4 * s.Jobs())
+	_ = pool.Map(n, func(i int) error {
+		start := time.Now()
+		defer func() { results[i].Elapsed = time.Since(start) }()
+		if perr[i] != nil {
+			results[i].Err = perr[i]
+			return nil
+		}
+		if m := members[i]; m != nil {
+			src := SourceMemo // overwritten iff this caller computes
+			rep, err := s.runs.DoContext(ctx, specs[i].memoKey(&plans[i], s.idOf), func() (*stats.Report, error) {
+				m.g.run(ctx, s)
+				src = m.g.srcs[m.lane]
+				return m.g.reps[m.lane], m.g.errs[m.lane]
+			})
+			results[i].Report, results[i].Source, results[i].Err = rep, src, err
+			return nil
+		}
+		rep, src, err := s.RunTracked(ctx, specs[i])
+		results[i].Report, results[i].Source, results[i].Err = rep, src, err
+		return nil
+	})
+	return results
+}

@@ -1,0 +1,300 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mtvec/internal/core"
+	"mtvec/internal/stats"
+	"mtvec/internal/store"
+	"mtvec/internal/workload"
+)
+
+// latencySweep builds a memo-missable sweep sharing one workload — the
+// shape RunAll batches — with n distinct memory latencies.
+func latencySweep(t *testing.T, n int) []RunSpec {
+	t.Helper()
+	w := testWorkload(t)
+	specs := make([]RunSpec, n)
+	for i := range specs {
+		specs[i] = Solo(w, WithMemLatency(10+i))
+	}
+	return specs
+}
+
+// TestRunAllBatchedMatchesSolo is the session-level differential gate:
+// a batched RunAll sweep returns exactly the Reports that per-point
+// dispatch (batching off) and direct solo Runs return, in input order.
+func TestRunAllBatchedMatchesSolo(t *testing.T) {
+	specs := latencySweep(t, 11) // 8-lane chunk + 3-lane chunk
+
+	ref := New(WithoutBatching())
+	want, err := ref.RunAll(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New()
+	if !s.Batching() {
+		t.Fatal("batching not on by default")
+	}
+	got, err := s.RunAll(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("point %d: batched report differs from per-point dispatch", i)
+		}
+	}
+	if s.Simulations() != int64(len(specs)) {
+		t.Errorf("batched session simulated %d points, want %d", s.Simulations(), len(specs))
+	}
+}
+
+// TestRunAllTrackedSources pins the per-point metadata: a cold sweep
+// simulates every distinct point once, duplicates share through the
+// memo, and a re-run answers entirely from the memo tier.
+func TestRunAllTrackedSources(t *testing.T) {
+	specs := latencySweep(t, 5)
+	specs = append(specs, specs[2]) // duplicate point rides the same lane
+
+	s := New()
+	results := s.RunAllTracked(context.Background(), specs...)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("point %d: %v", i, r.Err)
+		}
+		if r.Report == nil {
+			t.Fatalf("point %d: nil report", i)
+		}
+	}
+	if !reflect.DeepEqual(results[2].Report, results[5].Report) {
+		t.Error("duplicate points disagree")
+	}
+	if s.Simulations() != 5 {
+		t.Errorf("simulated %d, want 5 (duplicate must not re-run)", s.Simulations())
+	}
+	again := s.RunAllTracked(context.Background(), specs...)
+	for i, r := range again {
+		if r.Source != SourceMemo {
+			t.Errorf("re-run point %d answered from %v, want memo", i, r.Source)
+		}
+	}
+	if s.Simulations() != 5 {
+		t.Errorf("re-run simulated more points (%d)", s.Simulations())
+	}
+}
+
+// TestRunAllMixedValidity: invalid points error in place without
+// disturbing their neighbours, and the joined error keeps input order.
+func TestRunAllMixedValidity(t *testing.T) {
+	w := testWorkload(t)
+	specs := []RunSpec{
+		Solo(w, WithMemLatency(20)),
+		Solo(w, WithMemLatency(-1)), // invalid
+		Solo(w, WithMemLatency(21)),
+	}
+	s := New()
+	reps, err := s.RunAll(context.Background(), specs...)
+	if err == nil {
+		t.Fatal("invalid point did not surface")
+	}
+	if reps[0] == nil || reps[2] == nil {
+		t.Error("valid neighbours of an invalid point did not run")
+	}
+	if reps[1] != nil {
+		t.Error("invalid point produced a report")
+	}
+}
+
+// cancelObserver cancels a context after the first progress event.
+type cancelObserver struct {
+	cancel context.CancelFunc
+	fired  atomic.Bool
+}
+
+func (c *cancelObserver) Progress(now core.Cycle, dispatched int64) {
+	if !c.fired.Swap(true) {
+		c.cancel()
+	}
+}
+func (c *cancelObserver) ThreadSwitch(now core.Cycle, from, to int) {}
+func (c *cancelObserver) Span(s stats.Span)                         {}
+
+// TestRunAllCancelKeepsInputOrder is the regression test for the
+// completion-order bug: when the worker gate is saturated and the
+// context is cancelled mid-batch, RunAll must still return a
+// len(specs)-sized, input-indexed result slice where every non-nil
+// reps[i] is exactly specs[i]'s solo Report, with the cancellation
+// joined into the error. Cancellation is triggered deterministically
+// from inside the first spec's own simulation via an observer.
+func TestRunAllCancelKeepsInputOrder(t *testing.T) {
+	w := testWorkload(t)
+	mk := func(i int) RunSpec { return Solo(w, WithMemLatency(30+i)) }
+
+	// Reference reports from an independent session.
+	ref := New()
+	nPoints := 6
+	want := make([]*stats.Report, nPoints)
+	for i := range want {
+		rep, err := ref.Run(context.Background(), mk(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &cancelObserver{cancel: cancel}
+	specs := make([]RunSpec, 0, nPoints+1)
+	// The canceller runs first and saturates the 1-slot gate; the rest
+	// of the sweep is batched or queued behind it.
+	specs = append(specs, mk(0).With(WithObserver(obs), WithProgressStride(64)))
+	for i := 1; i < nPoints; i++ {
+		specs = append(specs, mk(i))
+	}
+
+	s := New(WithJobs(1))
+	reps, err := s.RunAll(ctx, specs...)
+	if len(reps) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(reps), len(specs))
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not joined into the error: %v", err)
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			continue // cancelled point: no partial results allowed
+		}
+		if !reflect.DeepEqual(rep, want[i]) {
+			t.Errorf("slot %d holds a different point's report (completion-order leak)", i)
+		}
+	}
+	// The session stays usable and correct after the cancelled sweep.
+	reps, err = s.RunAll(context.Background(), specs[1:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if !reflect.DeepEqual(rep, want[i+1]) {
+			t.Errorf("post-cancel slot %d wrong", i)
+		}
+	}
+}
+
+// TestRunAllBatchGrouping: only points sharing an instruction supply
+// batch together; a lone point per provenance stays on the per-point
+// path. Both shapes must produce solo-identical results.
+func TestRunAllBatchGrouping(t *testing.T) {
+	w := testWorkload(t)
+	var specs []RunSpec
+	// Two provenances interleaved: solo(w) sweep and queue(w,w) sweep.
+	for i := 0; i < 3; i++ {
+		specs = append(specs,
+			Solo(w, WithMemLatency(40+i)),
+			Queue([]*workload.Workload{w, w}, WithContexts(2), WithMemLatency(40+i)),
+		)
+	}
+	ref := New(WithoutBatching())
+	want, err := ref.RunAll(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	got, err := s.RunAll(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("point %d (%s): batched != per-point", i, specs[i].Mode())
+		}
+	}
+}
+
+// TestBatchStoreWriteThrough: a batched sweep writes every fresh lane
+// through to the persistent store, and a later session's batched sweep
+// over the same points answers entirely from disk — zero simulations.
+func TestBatchStoreWriteThrough(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := latencySweep(t, 9)
+
+	s1 := New(WithStore(st))
+	want, err := s1.RunAll(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Simulations() != int64(len(specs)) {
+		t.Fatalf("cold sweep simulated %d, want %d", s1.Simulations(), len(specs))
+	}
+
+	s2 := New(WithStore(st))
+	results := s2.RunAllTracked(context.Background(), specs...)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("point %d: %v", i, r.Err)
+		}
+		if r.Source != SourceStore {
+			t.Errorf("point %d answered from %v, want store", i, r.Source)
+		}
+		if !reflect.DeepEqual(r.Report, want[i]) {
+			t.Errorf("point %d: stored report differs", i)
+		}
+	}
+	if s2.Simulations() != 0 {
+		t.Errorf("warm sweep simulated %d points, want 0", s2.Simulations())
+	}
+}
+
+// TestProvenanceKeyGroupsBySupply: machine options must not split a
+// group; workloads and mode must.
+func TestProvenanceKeyGroupsBySupply(t *testing.T) {
+	w := testWorkload(t)
+	s := New()
+	a := Solo(w, WithMemLatency(10)).provenanceKey(s.idOf)
+	b := Solo(w, WithMemLatency(90), WithContexts(2)).provenanceKey(s.idOf)
+	if a != b {
+		t.Error("machine knobs split a shared-supply group")
+	}
+	q := Queue([]*workload.Workload{w}).provenanceKey(s.idOf)
+	if a == q {
+		t.Error("different modes grouped")
+	}
+}
+
+// TestBatchObserverBypass: observer-carrying points never batch (they
+// are not memoizable), yet ride the same RunAll with correct results.
+func TestBatchObserverBypass(t *testing.T) {
+	w := testWorkload(t)
+	var seen atomic.Int64
+	obs := core.ProgressFunc(func(now core.Cycle, dispatched int64) { seen.Add(1) })
+	specs := []RunSpec{
+		Solo(w, WithMemLatency(60)),
+		Solo(w, WithMemLatency(60), WithObserver(obs), WithProgressStride(64)),
+		Solo(w, WithMemLatency(61)),
+	}
+	s := New()
+	reps, err := s.RunAll(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen.Load() == 0 {
+		t.Error("observer saw no events")
+	}
+	if !reflect.DeepEqual(reps[0], reps[1]) {
+		t.Error("observer point's report differs from plain point")
+	}
+	_ = fmt.Sprintf("%v", reps[2])
+}

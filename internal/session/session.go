@@ -68,6 +68,10 @@ type Session struct {
 	sims atomic.Int64 // machine runs actually executed
 	memo bool
 
+	// nobatch disables RunAll's lockstep batching (see batch.go); the
+	// zero value means batching is on.
+	nobatch atomic.Bool
+
 	// st is the optional persistent second cache tier (nil = none);
 	// storeHits counts runs this session served from it.
 	st        atomic.Pointer[store.Store]
@@ -321,21 +325,22 @@ func (s *Session) Cached(spec RunSpec) (*stats.Report, Source, bool) {
 }
 
 // RunAll simulates the specs concurrently under the session's jobs
-// bound and returns the Reports in input order. Every spec runs even if
-// an earlier one fails; errors are joined in input order, so both
-// results and error text are independent of scheduling.
+// bound and returns the Reports pinned to input order — slot i is
+// specs[i]'s Report (or nil on its error) no matter in which order the
+// points complete, batch together, or get cancelled. Every spec runs
+// even if an earlier one fails; errors are joined in input order, so
+// both results and error text are independent of scheduling.
+// Memo-and-store-missed points that share an instruction supply are
+// simulated in lockstep batches (see RunAllTracked and batch.go);
+// results are byte-identical either way.
 func (s *Session) RunAll(ctx context.Context, specs ...RunSpec) ([]*stats.Report, error) {
-	reps := make([]*stats.Report, len(specs))
-	// The pool only orchestrates: leaf simulations admit through the
-	// session's gate, so width beyond Jobs() just keeps gate slots fed
-	// while some tasks park on shared singleflight entries.
-	pool := runner.New(4 * s.Jobs())
-	err := pool.Map(len(specs), func(i int) error {
-		rep, err := s.Run(ctx, specs[i])
-		reps[i] = rep
-		return err
-	})
-	return reps, err
+	results := s.RunAllTracked(ctx, specs...)
+	reps := make([]*stats.Report, len(results))
+	errs := make([]error, len(results))
+	for i := range results {
+		reps[i], errs[i] = results[i].Report, results[i].Err
+	}
+	return reps, errors.Join(errs...)
 }
 
 // simulate executes one machine run under the gate.

@@ -530,6 +530,34 @@ func (s RunSpec) memoKey(p *plan, idOf func(any) uint64) string {
 	return string(b)
 }
 
+// provenanceKey encodes the spec's instruction supply — mode, workload
+// identities, compiled kernel and schedule — and nothing of the machine
+// shape. RunAll groups memo-missed points by this key: points that
+// share it replay the same dynamic streams, so simulating them as
+// lockstep batch lanes keeps the shared predecoded trace hot across
+// the whole group. The key orders nothing and caches nothing; it only
+// groups.
+func (s RunSpec) provenanceKey(idOf func(any) uint64) string {
+	b := make([]byte, 0, 64)
+	b = append(b, "mode="...)
+	b = appendNum(b, int64(s.mode))
+	b = append(b, "|ws="...)
+	for _, w := range s.workloads {
+		b = appendNum(b, int64(idOf(w)))
+	}
+	if s.compiled != nil {
+		b = append(b, "|compiled="...)
+		b = appendNum(b, int64(idOf(s.compiled)))
+		b = append(b, "|sched="...)
+		for _, inv := range s.schedule {
+			b = appendNum(b, int64(inv.Unit))
+			b = append(b, ':')
+			b = appendNum(b, inv.N)
+		}
+	}
+	return string(b)
+}
+
 // persistKey canonically encodes the spec for the on-disk result store,
 // where keys must be stable across processes: run artifacts are
 // identified by build provenance (catalog program, scale, compiler

@@ -1,0 +1,73 @@
+package stats
+
+import "testing"
+
+// TestAddBusyClampsOverlap: dispatch order should prevent overlapping
+// intervals, but AddBusy clamps defensively — an interval starting
+// inside the previous one loses its covered prefix, and one fully
+// contained is dropped.
+func TestAddBusyClampsOverlap(t *testing.T) {
+	var tl UnitTimeline
+	tl.AddBusy(UnitLD, 0, 10)
+	tl.AddBusy(UnitLD, 5, 8) // fully inside [0,10): dropped
+	if got := tl.BusyCycles(UnitLD, 100); got != 10 {
+		t.Errorf("contained overlap changed busy cycles: %d, want 10", got)
+	}
+	tl.AddBusy(UnitLD, 5, 14) // prefix clamped to [10,14), merges
+	if got := tl.BusyCycles(UnitLD, 100); got != 14 {
+		t.Errorf("clamped overlap busy cycles = %d, want 14", got)
+	}
+	tl.AddBusy(UnitLD, 14, 14) // empty: no-op
+	tl.AddBusy(UnitLD, 20, 6)  // inverted: no-op
+	if got := tl.BusyCycles(UnitLD, 100); got != 14 {
+		t.Errorf("degenerate intervals changed busy cycles: %d, want 14", got)
+	}
+	// The breakdown agrees with the clamped timeline.
+	b := tl.Sweep(20)
+	if busy := b.Total() - b.AllIdle(); busy != 14 {
+		t.Errorf("sweep busy = %d, want 14", busy)
+	}
+}
+
+// TestBusyCyclesClipsAndStops: intervals past the horizon are skipped
+// entirely, intervals straddling it are clipped.
+func TestBusyCyclesClipsAndStops(t *testing.T) {
+	var tl UnitTimeline
+	tl.AddBusy(UnitFU2, 0, 5)
+	tl.AddBusy(UnitFU2, 6, 20)
+	tl.AddBusy(UnitFU2, 30, 40)
+	if got := tl.BusyCycles(UnitFU2, 8); got != 7 {
+		t.Errorf("clipped busy = %d, want 7 (5 + [6,8))", got)
+	}
+	if got := tl.BusyCycles(UnitFU2, 50); got != 29 {
+		t.Errorf("full busy = %d, want 29", got)
+	}
+}
+
+// TestSweepZeroTotal: an empty horizon yields an all-zero breakdown.
+func TestSweepZeroTotal(t *testing.T) {
+	var tl UnitTimeline
+	tl.AddBusy(UnitFU1, 0, 5)
+	b := tl.Sweep(0)
+	if b.Total() != 0 {
+		t.Errorf("zero-horizon breakdown totals %d cycles", b.Total())
+	}
+}
+
+// TestSweepIntervalPastHorizon: units whose first interval starts beyond
+// the horizon contribute nothing and do not shorten the idle tail.
+func TestSweepIntervalPastHorizon(t *testing.T) {
+	var tl UnitTimeline
+	tl.AddBusy(UnitFU1, 2, 4)
+	tl.AddBusy(UnitFU2, 90, 95)
+	b := tl.Sweep(10)
+	if b.Total() != 10 {
+		t.Errorf("total = %d, want 10", b.Total())
+	}
+	if b.AllIdle() != 8 {
+		t.Errorf("idle = %d, want 8", b.AllIdle())
+	}
+	if got := b[1<<UnitFU1]; got != 2 {
+		t.Errorf("FU1-only cycles = %d, want 2", got)
+	}
+}

@@ -97,6 +97,19 @@ func WithJobs(n int) SessionOption { return session.WithJobs(n) }
 // WithoutMemo disables a new session's run cache: every Run simulates.
 func WithoutMemo() SessionOption { return session.WithoutMemo() }
 
+// WithoutBatching disables RunAll's lockstep batching on a new session:
+// every sweep point dispatches through the per-point path. Results are
+// byte-identical either way (see docs/PERF.md, "Lockstep batching");
+// the knob exists for benchmarking and as an escape hatch. Toggle at
+// runtime with Session.SetBatching.
+func WithoutBatching() SessionOption { return session.WithoutBatching() }
+
+// RunResult is one Session.RunAllTracked point: the Report (nil on
+// error), the cache tier that answered, the point's wall time inside
+// the call — for a batched point, the time until its whole batch
+// resolved — and the point's error.
+type RunResult = session.Result
+
 // WithStore attaches a persistent result store to a new session; runs
 // with stable content identities are then served from and written
 // through to disk.
