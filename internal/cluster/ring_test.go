@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwnersDeterministicAndComplete(t *testing.T) {
+	workers := []string{"http://a", "http://b", "http://c"}
+	r1, err := newRing(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := newRing(workers)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, o2 := r1.owners(key), r2.owners(key)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("owners(%q) differ across rebuilds: %v vs %v", key, o1, o2)
+		}
+		if len(o1) != len(workers) {
+			t.Fatalf("owners(%q) = %v, want all %d workers", key, o1, len(workers))
+		}
+		seen := map[string]bool{}
+		for _, w := range o1 {
+			if seen[w] {
+				t.Fatalf("owners(%q) repeats %q: %v", key, w, o1)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestRingBalancesAndRemapsMinimally(t *testing.T) {
+	full, _ := newRing([]string{"http://a", "http://b", "http://c"})
+	shrunk, _ := newRing([]string{"http://a", "http://b"})
+	load := map[string]int{}
+	moved := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("point-%d", i)
+		home := full.owners(key)[0]
+		load[home]++
+		if after := shrunk.owners(key)[0]; after != home {
+			// Only keys whose home was the removed worker may move.
+			if home != "http://c" {
+				t.Fatalf("key %q moved %s -> %s though its home survived", key, home, after)
+			}
+			moved++
+		}
+	}
+	for w, got := range load {
+		if got < n/3/2 || got > n/3*2 {
+			t.Errorf("worker %s owns %d of %d keys — imbalance beyond 2x", w, got, n)
+		}
+	}
+	if moved != load["http://c"] {
+		t.Errorf("moved %d keys, want exactly c's %d", moved, load["http://c"])
+	}
+}
+
+func TestRingRejectsBadWorkerSets(t *testing.T) {
+	if _, err := newRing(nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := newRing([]string{"http://a", "http://a"}); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package cluster
 
 import (
 	"encoding/json"
@@ -13,9 +13,9 @@ import (
 // deterministic runs.
 const testScale = 5e-5
 
-func newTestServer(t *testing.T, storeDir string) *server {
+func newTestServer(t *testing.T, storeDir string) *Server {
 	t.Helper()
-	s, err := newServer(testScale, 4, storeDir)
+	s, err := NewServer(Config{Scale: testScale, Jobs: 4, StoreDir: storeDir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func do(t *testing.T, h http.Handler, method, target, body string, out any) *htt
 }
 
 func TestHealthAndCatalogs(t *testing.T) {
-	h := newTestServer(t, "").routes()
+	h := newTestServer(t, "").Handler()
 
 	var health healthResponse
 	if rec := do(t, h, "GET", "/healthz", "", &health); rec.Code != 200 {
@@ -66,11 +66,56 @@ func TestHealthAndCatalogs(t *testing.T) {
 	}
 }
 
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	s := newTestServer(t, "")
+	h := s.Handler()
+	if rec := do(t, h, "GET", "/readyz", "", nil); rec.Code != 200 {
+		t.Fatalf("readyz before drain = %d", rec.Code)
+	}
+	s.StartDraining()
+	if rec := do(t, h, "GET", "/readyz", "", nil); rec.Code != 503 {
+		t.Fatalf("readyz during drain = %d, want 503", rec.Code)
+	}
+	// Liveness and actual serving stay up throughout the drain.
+	if rec := do(t, h, "GET", "/healthz", "", nil); rec.Code != 200 {
+		t.Fatalf("healthz during drain = %d", rec.Code)
+	}
+	var resp RunResponse
+	if rec := do(t, h, "POST", "/api/v1/run", `{"programs":["tf"]}`, &resp); rec.Code != 200 {
+		t.Fatalf("run during drain = %d", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	h := newTestServer(t, dir).Handler()
+	do(t, h, "POST", "/api/v1/run", `{"programs":["tf"],"latency":80}`, nil)
+
+	rec := do(t, h, "GET", "/metrics", "", nil)
+	if rec.Code != 200 {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`mtvec_runs_total{source="sim"} 1`,
+		"mtvec_simulations_total 1",
+		"mtvec_store_writes_total 1",
+		"mtvec_gate_limit 4",
+		"mtvec_draining 0",
+		`mtvec_http_requests_total{endpoint="run",code="200"} 1`,
+		"mtvec_run_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 func TestRunEndpointCacheTiers(t *testing.T) {
-	h := newTestServer(t, "").routes()
+	h := newTestServer(t, "").Handler()
 	body := `{"mode":"solo","programs":["tf"],"latency":80}`
 
-	var first runResponse
+	var first RunResponse
 	rec := do(t, h, "POST", "/api/v1/run", body, &first)
 	if rec.Code != 200 {
 		t.Fatalf("run = %d: %s", rec.Code, rec.Body.String())
@@ -85,7 +130,7 @@ func TestRunEndpointCacheTiers(t *testing.T) {
 		t.Fatalf("cache header = %q", rec.Header().Get("X-Mtvec-Cache"))
 	}
 
-	var second runResponse
+	var second RunResponse
 	do(t, h, "POST", "/api/v1/run", body, &second)
 	if second.Cache != "memo" {
 		t.Fatalf("second run cache = %q, want memo", second.Cache)
@@ -99,8 +144,8 @@ func TestRunEndpointServedFromStoreAcrossServers(t *testing.T) {
 	dir := t.TempDir()
 	body := `{"mode":"queue","programs":["tf","sw"],"contexts":2}`
 
-	var cold runResponse
-	h1 := newTestServer(t, dir).routes()
+	var cold RunResponse
+	h1 := newTestServer(t, dir).Handler()
 	if rec := do(t, h1, "POST", "/api/v1/run", body, &cold); rec.Code != 200 {
 		t.Fatalf("cold run = %d: %s", rec.Code, rec.Body.String())
 	}
@@ -111,8 +156,8 @@ func TestRunEndpointServedFromStoreAcrossServers(t *testing.T) {
 	// A brand-new server over the same store directory models a restart
 	// (or another replica): the result must come from disk, bit-equal.
 	srv2 := newTestServer(t, dir)
-	var warm runResponse
-	do(t, srv2.routes(), "POST", "/api/v1/run", body, &warm)
+	var warm RunResponse
+	do(t, srv2.Handler(), "POST", "/api/v1/run", body, &warm)
 	if warm.Cache != "store" {
 		t.Fatalf("warm cache = %q, want store", warm.Cache)
 	}
@@ -121,16 +166,45 @@ func TestRunEndpointServedFromStoreAcrossServers(t *testing.T) {
 	if string(cb) != string(wb) {
 		t.Fatal("store-served report differs from the simulated one")
 	}
-	if sims := srv2.env.Simulations(); sims != 0 {
+	if sims := srv2.Env().Simulations(); sims != 0 {
 		t.Fatalf("replica simulated %d times, want 0", sims)
 	}
 }
 
+func TestServerWarmStartsFromPeer(t *testing.T) {
+	// Warm a "remote" worker's store, serve it over HTTP, and point a
+	// diskless-dir new server at it via Peers: the run must come from
+	// the peer tier, not a fresh simulation.
+	remoteDir := t.TempDir()
+	remote := newTestServer(t, remoteDir)
+	body := `{"programs":["tf"],"latency":70}`
+	if rec := do(t, remote.Handler(), "POST", "/api/v1/run", body, nil); rec.Code != 200 {
+		t.Fatalf("warm-up run = %d", rec.Code)
+	}
+	ts := httptest.NewServer(remote.Handler())
+	defer ts.Close()
+
+	local, err := NewServer(Config{Scale: testScale, Jobs: 4, StoreDir: t.TempDir(), Peers: []string{ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp RunResponse
+	if rec := do(t, local.Handler(), "POST", "/api/v1/run", body, &resp); rec.Code != 200 {
+		t.Fatalf("peer run = %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Cache != "peer" {
+		t.Fatalf("cache = %q, want peer", resp.Cache)
+	}
+	if sims := local.Env().Simulations(); sims != 0 {
+		t.Fatalf("peer-served run simulated %d times, want 0", sims)
+	}
+}
+
 func TestSweepEndpoint(t *testing.T) {
-	h := newTestServer(t, "").routes()
+	h := newTestServer(t, "").Handler()
 	body := `{"base":{"mode":"solo","programs":["tf"]},"latencies":[20,50],"contexts":[1]}`
 
-	var resp sweepResponse
+	var resp SweepResponse
 	if rec := do(t, h, "POST", "/api/v1/sweep", body, &resp); rec.Code != 200 {
 		t.Fatalf("sweep = %d: %s", rec.Code, rec.Body.String())
 	}
@@ -147,7 +221,7 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 
 	// Rerunning the sweep answers entirely from memo.
-	var again sweepResponse
+	var again SweepResponse
 	do(t, h, "POST", "/api/v1/sweep", body, &again)
 	if again.MemoHits != 2 || again.Simulated != 0 {
 		t.Fatalf("warm sweep %+v, want 2 memo hits", again)
@@ -158,8 +232,29 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 }
 
+func TestSweepExplicitPoints(t *testing.T) {
+	h := newTestServer(t, "").Handler()
+	// The sub-sweep form: explicit points instead of axis lists.
+	body := `{"base":{"mode":"solo","programs":["tf"]},"points":[{"latency":20},{"latency":50}]}`
+	var resp SweepResponse
+	if rec := do(t, h, "POST", "/api/v1/sweep", body, &resp); rec.Code != 200 {
+		t.Fatalf("sweep = %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Points) != 2 || resp.Failed != 0 || resp.Simulated != 2 {
+		t.Fatalf("sweep %+v", resp)
+	}
+	if resp.Points[0].Latency != 20 || resp.Points[1].Latency != 50 {
+		t.Fatalf("points out of order: %+v", resp.Points)
+	}
+	// Points and axis lists together are rejected.
+	both := `{"base":{"programs":["tf"]},"points":[{"latency":20}],"latencies":[50]}`
+	if rec := do(t, h, "POST", "/api/v1/sweep", both, nil); rec.Code != 400 {
+		t.Fatalf("points+axes sweep = %d, want 400", rec.Code)
+	}
+}
+
 func TestStreamEndpoint(t *testing.T) {
-	h := newTestServer(t, "").routes()
+	h := newTestServer(t, "").Handler()
 	target := "/api/v1/stream?mode=solo&programs=tf&progress_stride=512"
 
 	rec := do(t, h, "GET", target, "", nil)
@@ -192,7 +287,7 @@ func TestStreamEndpoint(t *testing.T) {
 }
 
 func TestExperimentEndpoint(t *testing.T) {
-	h := newTestServer(t, "").routes()
+	h := newTestServer(t, "").Handler()
 	rec := do(t, h, "GET", "/api/v1/experiments/table1", "", nil)
 	if rec.Code != 200 {
 		t.Fatalf("experiment = %d: %s", rec.Code, rec.Body.String())
@@ -216,7 +311,7 @@ func TestExperimentEndpoint(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	h := newTestServer(t, "").routes()
+	h := newTestServer(t, "").Handler()
 	cases := []struct {
 		method, target, body string
 		want                 int
@@ -243,7 +338,7 @@ func TestBadRequests(t *testing.T) {
 			t.Errorf("%s %s: error body missing: %s", tc.method, tc.target, rec.Body.String())
 		}
 	}
-	// Oversized sweep: 70^2 > maxSweepPoints with two long axes.
+	// Oversized sweep: 70^2 > MaxSweepPoints with two long axes.
 	var lats, ctxs []string
 	for i := 0; i < 70; i++ {
 		lats = append(lats, fmt.Sprint(i+1))

@@ -73,3 +73,11 @@ func (g *Gate) Do(fn func()) {
 // Busy returns the cumulative wall time spent inside gated sections —
 // the serial-equivalent cost of the guarded work.
 func (g *Gate) Busy() time.Duration { return time.Duration(g.busy.Load()) }
+
+// Active returns how many sections are inside the gate right now —
+// instantaneous occupancy, between 0 and Limit().
+func (g *Gate) Active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.in
+}

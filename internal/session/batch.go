@@ -90,7 +90,7 @@ func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
 	g.srcs = make([]Source, n)
 	g.errs = make([]error, n)
 
-	st := s.st.Load()
+	st := s.backend()
 	keys := make([]string, n)
 	var lanes []int // lane indices that must simulate
 	for i := range g.specs {
@@ -98,9 +98,8 @@ func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
 		if st != nil {
 			if key, ok := g.specs[i].persistKey(&g.plans[i]); ok {
 				keys[i] = key
-				if rep, ok := st.Get(key); ok {
-					g.reps[i], g.srcs[i] = rep, SourceStore
-					s.storeHits.Add(1)
+				if rep, tier := st.Get(key); tier.Hit() {
+					g.reps[i], g.srcs[i] = rep, s.storeSource(tier)
 					continue
 				}
 			}
@@ -125,6 +124,8 @@ func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
 			fail(err)
 			return
 		}
+		start := time.Now()
+		defer s.paceSlot(ctx, start, len(lanes))
 		cfgs := make([]core.Config, len(lanes))
 		stops := make([]core.Stop, len(lanes))
 		for k, i := range lanes {

@@ -72,10 +72,18 @@ type Session struct {
 	// zero value means batching is on.
 	nobatch atomic.Bool
 
-	// st is the optional persistent second cache tier (nil = none);
-	// storeHits counts runs this session served from it.
-	st        atomic.Pointer[store.Store]
+	// st boxes the optional persistent second cache tier (nil box or nil
+	// backend = none); storeHits counts runs this session served from it,
+	// peerHits the subset served by a remote peer tier. The pointer-to-box
+	// indirection exists because atomic.Value cannot swap between distinct
+	// concrete Backend types.
+	st        atomic.Pointer[backendBox]
 	storeHits atomic.Int64
+	peerHits  atomic.Int64
+
+	// pace, when positive, is the minimum wall duration of one gated
+	// simulation slot (see SetPace) in nanoseconds.
+	pace atomic.Int64
 
 	// gate admits at most Jobs() concurrent leaf sections (machine runs
 	// and, via Do, workload builds). Orchestration layers above may
@@ -126,9 +134,12 @@ func WithoutMemo() SessionOption {
 	return func(s *Session) { s.memo = false }
 }
 
-// WithStore attaches a persistent result store to a new session (see
+// backendBox wraps a store.Backend for atomic swapping.
+type backendBox struct{ b store.Backend }
+
+// WithStore attaches a persistent result backend to a new session (see
 // Session.SetStore).
-func WithStore(st *store.Store) SessionOption {
+func WithStore(st store.Backend) SessionOption {
 	return func(s *Session) { s.SetStore(st) }
 }
 
@@ -160,18 +171,95 @@ func (s *Session) Jobs() int { return int(s.jobs.Load()) }
 // cache misses, not requests; the quantity memoization exists to bound.
 func (s *Session) Simulations() int64 { return s.sims.Load() }
 
-// SetStore attaches (or, with nil, detaches) a persistent result store:
-// stable specs are served from disk when a prior process simulated them
-// and written through when this one does. Safe to call concurrently
-// with runs; in-flight runs keep the store they started with.
-func (s *Session) SetStore(st *store.Store) { s.st.Store(st) }
+// SetStore attaches (or, with nil, detaches) a persistent result
+// backend: stable specs are served from it when a prior process
+// simulated them and written through when this one does. Any
+// store.Backend works — an on-disk store.Dir, a remote store.HTTPPeer,
+// or a store.Tiered composite. Safe to call concurrently with runs;
+// in-flight runs keep the backend they started with.
+func (s *Session) SetStore(st store.Backend) {
+	if st == nil {
+		s.st.Store(nil)
+		return
+	}
+	s.st.Store(&backendBox{b: st})
+}
 
-// Store returns the attached persistent store, or nil.
-func (s *Session) Store() *store.Store { return s.st.Load() }
+// Store returns the attached persistent backend, or nil.
+func (s *Session) Store() store.Backend { return s.backend() }
+
+// backend unwraps the attached backend (nil when detached).
+func (s *Session) backend() store.Backend {
+	if box := s.st.Load(); box != nil {
+		return box.b
+	}
+	return nil
+}
 
 // StoreHits returns how many runs this session served from the
 // persistent store — work some earlier process (or session) paid for.
 func (s *Session) StoreHits() int64 { return s.storeHits.Load() }
+
+// PeerHits returns the subset of StoreHits served by a remote peer tier
+// rather than local disk.
+func (s *Session) PeerHits() int64 { return s.peerHits.Load() }
+
+// Active returns how many gated leaf sections (simulations, Do work)
+// are executing right now — instantaneous gate occupancy in [0, Jobs()].
+func (s *Session) Active() int { return s.gate.Active() }
+
+// SetPace sets a minimum wall duration per simulation inside a gated
+// slot: a slot that finishes sooner sleeps out the remainder while
+// still holding the slot, and a lockstep batch of n lanes pads n
+// windows. Zero (the default) disables. Results are unaffected
+// — only timing changes. The knob exists for capacity emulation in load
+// tests (see docs/CLUSTER.md): on a machine with fewer cores than the
+// deployment being modelled, pacing makes a node's simulation capacity
+// the bottleneck, so horizontal scaling behaves as it would at size.
+func (s *Session) SetPace(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.pace.Store(int64(d))
+}
+
+// Pace returns the gated-slot minimum wall duration (0 = disabled).
+func (s *Session) Pace() time.Duration { return time.Duration(s.pace.Load()) }
+
+// paceSlot sleeps out the remainder of the pace window for a gated slot
+// that started at start and ran n machine simulations. A lockstep batch
+// pads n windows, not one: the knob emulates per-simulation capacity,
+// and batching must not make emulated work look free. Called while
+// still inside the gate; a cancelled ctx cuts the sleep short.
+func (s *Session) paceSlot(ctx context.Context, start time.Time, n int) {
+	d := time.Duration(s.pace.Load()) * time.Duration(n)
+	if d <= 0 {
+		return
+	}
+	rem := d - time.Since(start)
+	if rem <= 0 {
+		return
+	}
+	t := time.NewTimer(rem)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// PersistKey returns the spec's store persist key — its process-stable
+// content identity — and whether it has one. Specs without stable
+// identities (ad-hoc workloads, compiled kernels, custom policy
+// instances) are not persistable and therefore not shardable by key.
+// The cluster coordinator hashes this key to route sweep points.
+func (s *Session) PersistKey(spec RunSpec) (string, bool) {
+	p, err := spec.prepare()
+	if err != nil {
+		return "", false
+	}
+	return spec.persistKey(&p)
+}
 
 // Busy returns the cumulative wall time spent inside gated sections
 // (simulations and Do work) — the serial-equivalent cost of the
@@ -192,11 +280,14 @@ const (
 	// SourceMemo: served from the in-memory memo cache (including
 	// joining an in-flight computation).
 	SourceMemo
-	// SourceStore: served from the persistent on-disk store.
+	// SourceStore: served from the persistent store's local disk tier.
 	SourceStore
+	// SourcePeer: served from a remote peer tier of the persistent store
+	// (a store.HTTPPeer, usually inside a store.Tiered).
+	SourcePeer
 )
 
-// String names the source ("sim", "memo", "store").
+// String names the source ("sim", "memo", "store", "peer").
 func (s Source) String() string {
 	switch s {
 	case SourceSim:
@@ -205,8 +296,21 @@ func (s Source) String() string {
 		return "memo"
 	case SourceStore:
 		return "store"
+	case SourcePeer:
+		return "peer"
 	}
 	return "unknown"
+}
+
+// storeSource maps a backend hit tier to the run source it reports, and
+// bumps the session's hit counters.
+func (s *Session) storeSource(tier store.Tier) Source {
+	s.storeHits.Add(1)
+	if tier == store.TierPeer {
+		s.peerHits.Add(1)
+		return SourcePeer
+	}
+	return SourceStore
 }
 
 // Run simulates the spec and returns its Report. Identical memoizable
@@ -230,7 +334,7 @@ func (s *Session) RunTracked(ctx context.Context, spec RunSpec) (*stats.Report, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	st := s.st.Load()
+	st := s.backend()
 	if !s.memo || !p.memoizable {
 		// Memo-less path (session-wide or observer-carrying spec): the
 		// store still applies when the spec is persistable. A store hit
@@ -240,15 +344,14 @@ func (s *Session) RunTracked(ctx context.Context, spec RunSpec) (*stats.Report, 
 			key, persistable = spec.persistKey(&p)
 		}
 		if persistable {
-			if rep, ok := st.Get(key); ok {
-				s.storeHits.Add(1)
+			if rep, tier := st.Get(key); tier.Hit() {
 				if s.memo {
 					// Promote to the memo tier: repeated requests for a
 					// hot point should not re-read and re-verify the
 					// disk record every time.
 					s.runs.Add(spec.memoKey(&p, s.idOf), rep)
 				}
-				return rep, SourceStore, nil
+				return rep, s.storeSource(tier), nil
 			}
 		}
 		rep, err := s.simulate(ctx, spec, p)
@@ -274,12 +377,11 @@ func (s *Session) RunTracked(ctx context.Context, spec RunSpec) (*stats.Report, 
 	rep, err := s.runs.DoContext(ctx, spec.memoKey(&p, s.idOf), func() (*stats.Report, error) {
 		if st != nil {
 			if key, ok := spec.persistKey(&p); ok {
-				rep, fromStore, err := st.Do(ctx, key, func() (*stats.Report, error) {
+				rep, tier, err := st.Do(ctx, key, func() (*stats.Report, error) {
 					return s.simulate(ctx, spec, p)
 				})
-				if fromStore {
-					src = SourceStore
-					s.storeHits.Add(1)
+				if tier.Hit() {
+					src = s.storeSource(tier)
 				} else if err == nil {
 					src = SourceSim
 				}
@@ -308,16 +410,15 @@ func (s *Session) Cached(spec RunSpec) (*stats.Report, Source, bool) {
 			return rep, SourceMemo, true
 		}
 	}
-	if st := s.st.Load(); st != nil {
+	if st := s.backend(); st != nil {
 		if key, ok := spec.persistKey(&p); ok {
-			if rep, ok := st.Get(key); ok {
-				s.storeHits.Add(1)
+			if rep, tier := st.Get(key); tier.Hit() {
 				if s.memo {
 					// Promote to the memo tier (see RunTracked): the
 					// next lookup answers from memory.
 					s.runs.Add(spec.memoKey(&p, s.idOf), rep)
 				}
-				return rep, SourceStore, true
+				return rep, s.storeSource(tier), true
 			}
 		}
 	}
@@ -353,6 +454,8 @@ func (s *Session) simulate(ctx context.Context, spec RunSpec, p plan) (rep *stat
 		if err = ctx.Err(); err != nil {
 			return
 		}
+		start := time.Now()
+		defer s.paceSlot(ctx, start, 1)
 		var m *core.Machine
 		if m, err = core.New(p.cfg); err != nil {
 			return

@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"mtvec/internal/core"
 	"mtvec/internal/sched"
@@ -300,5 +302,126 @@ func TestBankNoOpRejectedThroughSession(t *testing.T) {
 	cfg.Mem.Banks = 64
 	if err := Solo(w, WithConfig(cfg)).Validate(); err == nil {
 		t.Fatal("WithConfig with BankBusy 0 validated")
+	}
+}
+
+// TestPeerBackendReportsSourcePeer: a session over a Tiered backend
+// whose record lives only on a peer answers with SourcePeer, counts it
+// in PeerHits, and the peer hit warm-starts the local tier.
+func TestPeerBackendReportsSourcePeer(t *testing.T) {
+	w := testWorkload(t)
+	spec := Solo(w)
+
+	// Warm a "remote worker's" store.
+	remote := openStore(t)
+	warm := New(WithStore(remote))
+	want, err := warm.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(store.RecordHandler(remote))
+	defer srv.Close()
+	peer, err := store.NewHTTPPeer(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := openStore(t)
+	s := New(WithStore(store.NewTiered(local, peer)))
+
+	rep, src, err := s.RunTracked(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourcePeer {
+		t.Fatalf("source = %v, want peer", src)
+	}
+	if reportJSON(t, rep) != reportJSON(t, want) {
+		t.Fatal("peer-served report differs")
+	}
+	if s.Simulations() != 0 {
+		t.Fatalf("simulations = %d, want 0", s.Simulations())
+	}
+	if s.StoreHits() != 1 || s.PeerHits() != 1 {
+		t.Fatalf("store/peer hits = %d/%d, want 1/1", s.StoreHits(), s.PeerHits())
+	}
+	// Written back: a session over just the local tier now hits locally.
+	s2 := New(WithStore(local))
+	if _, src, err := s2.RunTracked(context.Background(), spec); err != nil || src != SourceStore {
+		t.Fatalf("after write-back: src=%v err=%v, want store", src, err)
+	}
+}
+
+// TestPersistKeyPublic pins the public sharding handle the cluster
+// coordinator uses: stable specs expose a key, unstable ones do not,
+// and the key matches the internal one the store tier uses.
+func TestPersistKeyPublic(t *testing.T) {
+	w := testWorkload(t)
+	s := New()
+	key, ok := s.PersistKey(Solo(w))
+	if !ok || key == "" {
+		t.Fatalf("PersistKey = (%q, %v), want a stable key", key, ok)
+	}
+	spec := Solo(w)
+	p, err := spec.prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal, _ := spec.persistKey(&p)
+	if key != internal {
+		t.Fatalf("public key %q != internal key %q", key, internal)
+	}
+	handRolled := &workload.Workload{Spec: &workload.Spec{Name: "custom"}, Scale: 1, Trace: w.Trace}
+	if _, ok := s.PersistKey(Solo(handRolled)); ok {
+		t.Fatal("unstable spec reported a persist key")
+	}
+	if _, ok := s.PersistKey(RunSpec{}); ok {
+		t.Fatal("invalid spec reported a persist key")
+	}
+}
+
+// TestSetPacePadsGatedSlots pins the capacity-emulation knob: with a
+// pace set, one simulation takes at least the pace window, and results
+// are unchanged.
+func TestSetPacePadsGatedSlots(t *testing.T) {
+	w := testWorkload(t)
+	base, err := New().Run(context.Background(), Solo(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.SetPace(50 * time.Millisecond)
+	if s.Pace() != 50*time.Millisecond {
+		t.Fatalf("Pace = %v", s.Pace())
+	}
+	start := time.Now()
+	rep, err := s.Run(context.Background(), Solo(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Fatalf("paced run took %v, want >= 50ms", took)
+	}
+	if reportJSON(t, rep) != reportJSON(t, base) {
+		t.Fatal("pacing changed the report")
+	}
+	// A cancelled context cuts the pace sleep short rather than hanging.
+	s.SetPace(time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Run(ctx, Solo(w, WithMemLatency(80)))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pace sleep ignored cancellation")
+	}
+	s.SetPace(-1) // negative clamps to disabled
+	if s.Pace() != 0 {
+		t.Fatalf("negative pace not clamped: %v", s.Pace())
 	}
 }

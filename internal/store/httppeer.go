@@ -1,0 +1,268 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtvec/internal/stats"
+)
+
+// RecordPath is the HTTP path of the peer-to-peer record API that
+// RecordHandler serves and HTTPPeer consumes. Workers mount it so
+// peers (and fresh replicas) can warm-start from their store.
+const RecordPath = "/api/v1/store/record"
+
+// maxRecordBytes bounds one record on the wire. Reports are a few KB;
+// the bound only exists so a confused peer cannot make us buffer
+// arbitrary data.
+const maxRecordBytes = 8 << 20
+
+// HTTPPeer is a Backend over another process's record API: Get fetches
+// and re-verifies the peer's record envelope, Put uploads one. It is
+// how a fresh worker warm-starts from the fleet (usually wrapped in a
+// Tiered together with a local Dir).
+//
+// Network and peer failures are misses, never errors: a peer going away
+// degrades the backend to recomputing, exactly like a cold local store.
+type HTTPPeer struct {
+	url    string // <base>/api/v1/store/record
+	client *http.Client
+
+	// flight single-flights concurrent Do calls per key within this
+	// process; cross-process single-flight is the serving Dir's job.
+	mu     sync.Mutex
+	flight map[string]*peerCall
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	writes  atomic.Int64
+	corrupt atomic.Int64
+}
+
+type peerCall struct {
+	done chan struct{}
+	rep  *stats.Report
+	tier Tier
+	err  error
+}
+
+// NewHTTPPeer builds a peer backend for a worker's base URL (e.g.
+// "http://host:8372"); the record API path is appended. A nil client
+// selects a default with a 30s timeout.
+func NewHTTPPeer(base string, client *http.Client) (*HTTPPeer, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("store: peer url %q: %w", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("store: peer url %q: need http or https", base)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("store: peer url %q: missing host", base)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPPeer{
+		url:    strings.TrimSuffix(base, "/") + RecordPath,
+		client: client,
+		flight: make(map[string]*peerCall),
+	}, nil
+}
+
+// URL returns the record-API endpoint this peer talks to.
+func (p *HTTPPeer) URL() string { return p.url }
+
+// Stats returns a snapshot of the peer's counters. Hits are by
+// definition peer hits, so PeerHits mirrors Hits.
+func (p *HTTPPeer) Stats() Stats {
+	h := p.hits.Load()
+	return Stats{
+		Hits:     h,
+		Misses:   p.misses.Load(),
+		Writes:   p.writes.Load(),
+		Corrupt:  p.corrupt.Load(),
+		PeerHits: h,
+	}
+}
+
+// Get fetches the record for key from the peer and re-verifies the
+// envelope locally — a peer is trusted no more than the local disk. Any
+// failure (network, HTTP status, verification) is a miss.
+func (p *HTTPPeer) Get(key string) (*stats.Report, Tier) {
+	req, err := http.NewRequest(http.MethodGet, p.url+"?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		p.misses.Add(1)
+		return nil, TierMiss
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.misses.Add(1)
+		return nil, TierMiss
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		p.misses.Add(1)
+		return nil, TierMiss
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes))
+	if err != nil {
+		p.misses.Add(1)
+		return nil, TierMiss
+	}
+	rep, err := DecodeRecord(data, key)
+	if err != nil {
+		// The peer answered, but with bytes that do not verify: that is
+		// corruption (or a hostile peer), not a plain miss.
+		p.corrupt.Add(1)
+		p.misses.Add(1)
+		return nil, TierMiss
+	}
+	p.hits.Add(1)
+	return rep, TierPeer
+}
+
+// Put uploads the record for key to the peer (the peer re-verifies the
+// envelope before persisting it).
+func (p *HTTPPeer) Put(key string, rep *stats.Report) error {
+	data, err := EncodeRecord(key, rep)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, p.url+"?key="+url.QueryEscape(key), strings.NewReader(string(data)))
+	if err != nil {
+		return fmt.Errorf("store: peer put: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: peer put: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("store: peer put: %s", resp.Status)
+	}
+	p.writes.Add(1)
+	return nil
+}
+
+// Do returns the peer's record for key, computing and uploading it on a
+// miss. Concurrent Do calls for one key on this HTTPPeer single-flight
+// in-process (the leader computes, followers share); cancelled leaders
+// are forgotten so live followers retry, mirroring the session cache's
+// forget-on-cancel rule. Cross-process single-flight belongs to the
+// Dir behind the serving peer, not to this client.
+func (p *HTTPPeer) Do(ctx context.Context, key string, compute func() (*stats.Report, error)) (*stats.Report, Tier, error) {
+	for {
+		p.mu.Lock()
+		if c, ok := p.flight[key]; ok {
+			p.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, TierMiss, ctx.Err()
+			}
+			if c.err != nil && IsContextErr(c.err) {
+				// Leader was cancelled; retry under our own context.
+				continue
+			}
+			return c.rep, c.tier, c.err
+		}
+		c := &peerCall{done: make(chan struct{})}
+		p.flight[key] = c
+		p.mu.Unlock()
+
+		c.rep, c.tier, c.err = p.do(ctx, key, compute)
+		p.mu.Lock()
+		delete(p.flight, key)
+		p.mu.Unlock()
+		close(c.done)
+		return c.rep, c.tier, c.err
+	}
+}
+
+// do is one un-deduplicated Do attempt.
+func (p *HTTPPeer) do(ctx context.Context, key string, compute func() (*stats.Report, error)) (*stats.Report, Tier, error) {
+	if rep, tier := p.Get(key); tier.Hit() {
+		return rep, tier, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, TierMiss, err
+	}
+	rep, err := compute()
+	if err != nil {
+		return nil, TierMiss, err
+	}
+	// Best-effort upload: a failed write degrades the peer to a miss
+	// next time, never the computed result.
+	_ = p.Put(key, rep)
+	return rep, TierMiss, nil
+}
+
+// RecordHandler serves the peer-to-peer record API over a Dir:
+//
+//	GET  <path>?key=K  -> 200 record envelope | 404
+//	PUT  <path>?key=K  -> 204 after verifying the envelope | 400
+//
+// Every served and accepted record is verified — the handler never
+// relays bytes it cannot vouch for, and never persists bytes that do
+// not verify against the requested key.
+func RecordHandler(d *Dir) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			httpError(w, http.StatusBadRequest, "missing key parameter")
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			rep, tier := d.Get(key)
+			if !tier.Hit() {
+				httpError(w, http.StatusNotFound, "no record")
+				return
+			}
+			data, err := EncodeRecord(key, rep)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(append(data, '\n'))
+		case http.MethodPut:
+			data, err := io.ReadAll(io.LimitReader(r.Body, maxRecordBytes))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			rep, err := DecodeRecord(data, key)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			if err := d.Put(key, rep); err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "GET or PUT")
+		}
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

@@ -1,5 +1,8 @@
 // Package store is the persistent second tier under the session memo
-// cache: a content-addressed, on-disk table of simulation Reports.
+// cache: a content-addressed table of simulation Reports behind a small
+// Backend interface with three implementations — Dir (on-disk), HTTPPeer
+// (a remote worker's record API) and Tiered (local disk warmed from
+// peers).
 //
 // Every record is keyed by the session's canonical persist key — the
 // full (mode, workload provenance, policy, machine shape, stop rule)
@@ -14,11 +17,13 @@
 // payload. A record that fails any of those checks — truncated write,
 // bit rot, schema from a future version, key mismatch — is treated as a
 // miss and deleted, so corrupt or stale entries are recomputed rather
-// than served.
+// than served. The same envelope travels the wire between peers, and
+// HTTPPeer re-verifies it on receipt: a peer is trusted no more than
+// the local disk.
 //
 // # Concurrency
 //
-// A Store is safe for concurrent use by any number of goroutines and
+// A Dir is safe for concurrent use by any number of goroutines and
 // processes sharing the directory. Writes are atomic (temp file +
 // rename), and because every simulation is a pure function of its key,
 // concurrent writers of one key write byte-identical records — last
@@ -26,8 +31,9 @@
 // lock file elects one computing process per key while the others poll
 // for its result, so a fleet of processes warming one store directory
 // simulates each point once. Lock holders that die are detected by age
-// and their locks stolen; a cancelled compute releases the lock without
-// writing, preserving the engine's forget-on-cancel semantics on disk.
+// and their locks stolen (the bound is Options.StealAge); a cancelled
+// compute releases the lock without writing, preserving the engine's
+// forget-on-cancel semantics on disk.
 package store
 
 import (
@@ -57,8 +63,24 @@ const Schema = 1
 // records.
 const layoutVersion = "v1"
 
-// Store is one on-disk result store rooted at a directory.
-type Store struct {
+// Options tunes a Dir. The zero value selects every default.
+type Options struct {
+	// StealAge is the age after which another process's lock file is
+	// presumed abandoned (its holder crashed) and stolen. Zero selects
+	// DefaultStealAge. Set it below the longest simulation a deployment
+	// can run and a healthy holder will be displaced — the loser only
+	// duplicates work, never corrupts it, but the single-flight is gone.
+	StealAge time.Duration
+	// LockPoll is the interval at which lock waiters re-check for the
+	// holder's result. Zero selects 25ms.
+	LockPoll time.Duration
+}
+
+// DefaultStealAge is the default lock-file steal age.
+const DefaultStealAge = 10 * time.Minute
+
+// Dir is one on-disk result store rooted at a directory.
+type Dir struct {
 	root string // <dir>/<layoutVersion>
 
 	// lockStale is the age after which another process's lock file is
@@ -74,36 +96,63 @@ type Store struct {
 	corrupt atomic.Int64
 }
 
-// Stats is a snapshot of a store's counters (process-local, not
+// Store is the historical name of the on-disk tier.
+//
+// Deprecated: use Dir (the Backend interface has other implementations
+// now). The alias is permanent; existing code keeps compiling.
+type Store = Dir
+
+// Stats is a snapshot of a backend's counters (process-local, not
 // persisted).
 type Stats struct {
-	Hits    int64 // Get/Do served a verified record
-	Misses  int64 // no record (or none that verified)
-	Writes  int64 // records written
-	Corrupt int64 // records dropped for failing verification
+	Hits    int64 `json:"hits"`    // Get/Do served a verified record
+	Misses  int64 `json:"misses"`  // no record (or none that verified)
+	Writes  int64 `json:"writes"`  // records written
+	Corrupt int64 `json:"corrupt"` // records dropped for failing verification
+	// PeerHits counts the subset of Hits served by a remote peer rather
+	// than local disk (Tiered and HTTPPeer backends; always 0 on a Dir).
+	PeerHits int64 `json:"peer_hits,omitempty"`
 }
 
-// Open creates (if needed) and opens the store rooted at dir.
-func Open(dir string) (*Store, error) {
+// add accumulates o into s (Tiered aggregates its children).
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Writes += o.Writes
+	s.Corrupt += o.Corrupt
+	s.PeerHits += o.PeerHits
+}
+
+// Open creates (if needed) and opens the store rooted at dir with
+// default Options.
+func Open(dir string) (*Dir, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions creates (if needed) and opens the store rooted at dir.
+func OpenOptions(dir string, o Options) (*Dir, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
+	}
+	if o.StealAge < 0 || o.LockPoll < 0 {
+		return nil, fmt.Errorf("store: negative lock tuning (steal age %v, poll %v)", o.StealAge, o.LockPoll)
 	}
 	root := filepath.Join(dir, layoutVersion)
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{
+	d := &Dir{
 		root:      root,
-		lockStale: 10 * time.Minute,
+		lockStale: DefaultStealAge,
 		lockPoll:  25 * time.Millisecond,
-	}, nil
+	}
+	d.SetLockTuning(o.StealAge, o.LockPoll)
+	return d, nil
 }
 
 // Dir returns the store's root directory (the one passed to Open).
-func (s *Store) Dir() string { return filepath.Dir(s.root) }
+func (s *Dir) Dir() string { return filepath.Dir(s.root) }
 
 // Stats returns a snapshot of the store's counters.
-func (s *Store) Stats() Stats {
+func (s *Dir) Stats() Stats {
 	return Stats{
 		Hits:    s.hits.Load(),
 		Misses:  s.misses.Load(),
@@ -112,7 +161,7 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// record is the on-disk envelope.
+// record is the on-disk (and on-wire) envelope.
 type record struct {
 	Schema int    `json:"schema"`
 	Key    string `json:"key"`
@@ -121,31 +170,79 @@ type record struct {
 	Report json.RawMessage `json:"report"`
 }
 
+// EncodeRecord builds the self-describing envelope for a report — the
+// exact bytes Dir persists and the record API serves. Envelope bytes
+// are a pure function of (key, report), so every encoder of one result
+// produces identical bytes.
+func EncodeRecord(key string, rep *stats.Report) ([]byte, error) {
+	payload, err := json.Marshal(rep)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode report: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(record{
+		Schema: Schema,
+		Key:    key,
+		Sum:    hex.EncodeToString(sum[:]),
+		Report: payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: encode record: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeRecord verifies an envelope against the key it was requested
+// under — schema, key echo, payload integrity hash — and decodes the
+// report. It is the single verification path for records read from
+// disk and records received from peers.
+func DecodeRecord(data []byte, key string) (*stats.Report, error) {
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("store: envelope: %w", err)
+	}
+	if rec.Schema != Schema {
+		return nil, fmt.Errorf("store: schema %d, want %d", rec.Schema, Schema)
+	}
+	if rec.Key != key {
+		return nil, errors.New("store: key mismatch")
+	}
+	sum := sha256.Sum256(rec.Report)
+	if hex.EncodeToString(sum[:]) != rec.Sum {
+		return nil, errors.New("store: integrity hash mismatch")
+	}
+	rep := new(stats.Report)
+	if err := json.Unmarshal(rec.Report, rep); err != nil {
+		return nil, fmt.Errorf("store: report payload: %w", err)
+	}
+	return rep, nil
+}
+
 // path returns the sharded record path for a key.
-func (s *Store) path(key string) string {
+func (s *Dir) path(key string) string {
 	h := sha256.Sum256([]byte(key))
 	name := hex.EncodeToString(h[:])
 	return filepath.Join(s.root, name[:2], name+".json")
 }
 
-// Get returns the stored report for key, or ok=false. A record that
-// fails verification (schema, key, integrity hash, or malformed JSON)
-// is deleted and reported as a miss — corruption is recomputed, never
-// trusted.
-func (s *Store) Get(key string) (*stats.Report, bool) {
+// Get returns the stored report for key (tier TierLocal), or TierMiss.
+// A record that fails verification (schema, key, integrity hash, or
+// malformed JSON) is deleted and reported as a miss — corruption is
+// recomputed, never trusted.
+func (s *Dir) Get(key string) (*stats.Report, Tier) {
 	rep, ok := s.load(key)
 	if ok {
 		s.hits.Add(1)
-	} else {
-		s.misses.Add(1)
+		return rep, TierLocal
 	}
-	return rep, ok
+	s.misses.Add(1)
+	return nil, TierMiss
 }
 
 // load is Get without the hit/miss accounting (corrupt records are
 // still counted and deleted): Do re-checks the record several times per
 // logical lookup and must not inflate the counters.
-func (s *Store) load(key string) (*stats.Report, bool) {
+func (s *Dir) load(key string) (*stats.Report, bool) {
 	path := s.path(key)
 	rep, err := readRecord(path, key)
 	if err == nil {
@@ -165,23 +262,9 @@ func readRecord(path, key string) (*stats.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rec record
-	if err := json.Unmarshal(data, &rec); err != nil {
-		return nil, fmt.Errorf("store: %s: %w", path, err)
-	}
-	if rec.Schema != Schema {
-		return nil, fmt.Errorf("store: %s: schema %d, want %d", path, rec.Schema, Schema)
-	}
-	if rec.Key != key {
-		return nil, fmt.Errorf("store: %s: key mismatch", path)
-	}
-	sum := sha256.Sum256(rec.Report)
-	if hex.EncodeToString(sum[:]) != rec.Sum {
-		return nil, fmt.Errorf("store: %s: integrity hash mismatch", path)
-	}
-	rep := new(stats.Report)
-	if err := json.Unmarshal(rec.Report, rep); err != nil {
-		return nil, fmt.Errorf("store: %s: report payload: %w", path, err)
+	rep, err := DecodeRecord(data, key)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return rep, nil
 }
@@ -190,20 +273,10 @@ func readRecord(path, key string) (*stats.Report, error) {
 // either the old record or the complete new one, never a torn file.
 // Concurrent writers of one key write identical bytes (simulations are
 // pure functions of their key), so last-writer-wins is harmless.
-func (s *Store) Put(key string, rep *stats.Report) error {
-	payload, err := json.Marshal(rep)
+func (s *Dir) Put(key string, rep *stats.Report) error {
+	data, err := EncodeRecord(key, rep)
 	if err != nil {
-		return fmt.Errorf("store: encode report: %w", err)
-	}
-	sum := sha256.Sum256(payload)
-	data, err := json.Marshal(record{
-		Schema: Schema,
-		Key:    key,
-		Sum:    hex.EncodeToString(sum[:]),
-		Report: payload,
-	})
-	if err != nil {
-		return fmt.Errorf("store: encode record: %w", err)
+		return err
 	}
 	path := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -228,9 +301,9 @@ func (s *Store) Put(key string, rep *stats.Report) error {
 }
 
 // Do returns the stored report for key, computing and persisting it
-// with compute on a verified miss. fromStore reports whether the result
-// was served from disk (by this call's own read — a compute that raced
-// another process still reports false).
+// with compute on a verified miss. The returned tier is TierLocal when
+// the result was served from disk (by this call's own read — a compute
+// that raced another process still reports TierMiss).
 //
 // Across processes Do is single-flight: a lock file elects one computer
 // per key and the others poll, re-checking for the winner's record. A
@@ -244,17 +317,17 @@ func (s *Store) Put(key string, rep *stats.Report) error {
 // failures (unwritable lock, failed record write) degrade to computing
 // without the single-flight or to a plain miss next time, never to a
 // failed call — so callers may safely memoize what Do returns.
-func (s *Store) Do(ctx context.Context, key string, compute func() (*stats.Report, error)) (rep *stats.Report, fromStore bool, err error) {
+func (s *Dir) Do(ctx context.Context, key string, compute func() (*stats.Report, error)) (rep *stats.Report, tier Tier, err error) {
 	// One logical lookup counts exactly one hit (served from disk at any
 	// of the checks below) or one miss (computed).
 	if rep, ok := s.load(key); ok {
 		s.hits.Add(1)
-		return rep, true, nil
+		return rep, TierLocal, nil
 	}
 	unlock, err := s.lock(ctx, key)
 	if err != nil {
 		if IsContextErr(err) {
-			return nil, false, err
+			return nil, TierMiss, err
 		}
 		// Lock bookkeeping failed — a full or read-only store volume.
 		// The lock is pure work-deduplication, so degrade to computing
@@ -270,7 +343,7 @@ func (s *Store) Do(ctx context.Context, key string, compute func() (*stats.Repor
 		// lock: correctness never depends on the single-flight.
 		if rep, ok := s.load(key); ok {
 			s.hits.Add(1)
-			return rep, true, nil
+			return rep, TierLocal, nil
 		}
 	} else {
 		defer unlock()
@@ -278,20 +351,20 @@ func (s *Store) Do(ctx context.Context, key string, compute func() (*stats.Repor
 		// between our miss and the acquisition.
 		if rep, ok := s.load(key); ok {
 			s.hits.Add(1)
-			return rep, true, nil
+			return rep, TierLocal, nil
 		}
 	}
 	s.misses.Add(1)
 	rep, err = compute()
 	if err != nil {
-		return nil, false, err
+		return nil, TierMiss, err
 	}
 	if perr := s.Put(key, rep); perr != nil {
 		// A failed write degrades the store to a cache miss next time;
 		// the computed result is still good.
-		return rep, false, nil
+		return rep, TierMiss, nil
 	}
-	return rep, false, nil
+	return rep, TierMiss, nil
 }
 
 // lockSeq disambiguates lock tokens taken by one process at one
@@ -312,7 +385,7 @@ var lockSeq atomic.Int64
 // release deletes the lock file only while it still carries this
 // acquisition's unique token — a holder displaced for exceeding the
 // staleness bound will not remove its usurper's lock.
-func (s *Store) lock(ctx context.Context, key string) (func(), error) {
+func (s *Dir) lock(ctx context.Context, key string) (func(), error) {
 	path := s.path(key) + ".lock"
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -371,8 +444,10 @@ func (s *Store) lock(ctx context.Context, key string) (func(), error) {
 func IsContextErr(err error) bool { return runner.IsContextErr(err) }
 
 // SetLockTuning overrides the cross-process lock's staleness bound and
-// poll interval (tests shrink them; zero keeps the current value).
-func (s *Store) SetLockTuning(stale, poll time.Duration) {
+// poll interval (zero keeps the current value). Equivalent to opening
+// with Options; kept as a method so tests and long-lived processes can
+// retune a live store.
+func (s *Dir) SetLockTuning(stale, poll time.Duration) {
 	if stale > 0 {
 		s.lockStale = stale
 	}

@@ -45,16 +45,16 @@ func TestRoundTripByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	const key = "mode=1,|ws=tf@0.001,|policy=default|ctx=1,"
-	if _, ok := s.Get(key); ok {
+	if _, tier := s.Get(key); tier.Hit() {
 		t.Fatal("empty store reported a hit")
 	}
 	want := sampleReport()
 	if err := s.Put(key, want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Get(key)
-	if !ok {
-		t.Fatal("stored record not found")
+	got, tier := s.Get(key)
+	if tier != TierLocal {
+		t.Fatalf("stored record not found (tier %v)", tier)
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
@@ -88,8 +88,8 @@ func TestReopenSurvivesProcessBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s2.Get(key)
-	if !ok {
+	got, tier := s2.Get(key)
+	if !tier.Hit() {
 		t.Fatal("record invisible after reopen")
 	}
 	if !reflect.DeepEqual(got, want) {
@@ -155,7 +155,7 @@ func TestCorruptRecordsRecovered(t *testing.T) {
 				t.Fatal(err)
 			}
 			tc.mangle(s.path(key), t)
-			if _, ok := s.Get(key); ok {
+			if _, tier := s.Get(key); tier.Hit() {
 				t.Fatal("corrupt record served")
 			}
 			if s.Stats().Corrupt != 1 {
@@ -168,7 +168,7 @@ func TestCorruptRecordsRecovered(t *testing.T) {
 			if err := s.Put(key, sampleReport()); err != nil {
 				t.Fatal(err)
 			}
-			if _, ok := s.Get(key); !ok {
+			if _, tier := s.Get(key); !tier.Hit() {
 				t.Fatal("healed record not served")
 			}
 		})
@@ -244,7 +244,7 @@ func TestDoFailedComputeNotPersisted(t *testing.T) {
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	if _, ok := s.Get("k"); ok {
+	if _, tier := s.Get("k"); tier.Hit() {
 		t.Fatal("failed compute persisted")
 	}
 	// The lock must be released: a follow-up compute proceeds promptly.
@@ -302,13 +302,13 @@ func TestStaleLockStolen(t *testing.T) {
 	old := time.Now().Add(-time.Minute)
 	os.Chtimes(lockPath, old, old)
 
-	rep, fromStore, err := s.Do(context.Background(), "k", func() (*stats.Report, error) {
+	rep, tier, err := s.Do(context.Background(), "k", func() (*stats.Report, error) {
 		return sampleReport(), nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fromStore || rep == nil {
+	if tier.Hit() || rep == nil {
 		t.Fatal("stale lock not stolen")
 	}
 }

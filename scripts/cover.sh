@@ -19,11 +19,13 @@ DEFAULT_FLOOR=45
 declare -A FLOOR=(
   [mtvec]=50
   [mtvec/internal/arch]=90
+  [mtvec/internal/cluster]=78
   [mtvec/internal/core]=90
   [mtvec/internal/experiments]=88
   [mtvec/internal/isa]=85
   [mtvec/internal/kernel]=90
   [mtvec/internal/memsys]=85
+  [mtvec/internal/metrics]=88
   [mtvec/internal/prog]=88
   [mtvec/internal/report]=95
   [mtvec/internal/runner]=75

@@ -1,6 +1,7 @@
 package mtvec
 
 import (
+	"net/http"
 	"sync"
 
 	"mtvec/internal/core"
@@ -66,12 +67,44 @@ type SwitchCounter = core.SwitchCounter
 // simulating each distinct point once. See docs/API.md.
 type Store = store.Store
 
-// StoreStats is a snapshot of a store's hit/miss/write/corrupt counters.
+// StoreBackend is the pluggable interface behind a Session's persistent
+// tier. Implementations: the on-disk Store/store.Dir, a remote worker's
+// record API (NewPeerStore), and a local-disk-warmed-from-peers
+// composite (NewTieredStore).
+type StoreBackend = store.Backend
+
+// StoreStats is a snapshot of a backend's hit/miss/write/corrupt
+// counters (plus PeerHits for remote tiers).
 type StoreStats = store.Stats
+
+// StoreOptions tunes an on-disk store (lock-file steal age and poll
+// interval); the zero value selects every default.
+type StoreOptions = store.Options
 
 // OpenStore creates (if needed) and opens the result store rooted at
 // dir. Attach it with WithStore, Session.SetStore or Env.SetStore.
 func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// OpenStoreOptions is OpenStore with explicit tuning.
+func OpenStoreOptions(dir string, o StoreOptions) (*Store, error) {
+	return store.OpenOptions(dir, o)
+}
+
+// NewPeerStore opens a read-through backend over another mtvserve
+// worker's record API at the given base URL; a nil client selects a
+// default with a 30s timeout. Peer records are re-verified on receipt,
+// and an unreachable peer degrades to a miss, never an error.
+func NewPeerStore(base string, client *http.Client) (StoreBackend, error) {
+	return store.NewHTTPPeer(base, client)
+}
+
+// NewTieredStore composes a local on-disk store with remote peers:
+// lookups try local disk first, then each peer in order, and peer hits
+// are written back locally — so a fresh node warm-starts from the
+// fleet's results. local may be nil (diskless); nil peers are skipped.
+func NewTieredStore(local *Store, peers ...StoreBackend) StoreBackend {
+	return store.NewTiered(local, peers...)
+}
 
 // RunSource names the cache tier that answered a Session.RunTracked
 // call: a fresh simulation, the in-memory memo, or the persistent
@@ -83,6 +116,7 @@ const (
 	RunFromSim   = session.SourceSim
 	RunFromMemo  = session.SourceMemo
 	RunFromStore = session.SourceStore
+	RunFromPeer  = session.SourcePeer
 )
 
 // NewSession creates a run session. Memoization is on by default
@@ -110,10 +144,10 @@ func WithoutBatching() SessionOption { return session.WithoutBatching() }
 // resolved — and the point's error.
 type RunResult = session.Result
 
-// WithStore attaches a persistent result store to a new session; runs
+// WithStore attaches a persistent result backend to a new session; runs
 // with stable content identities are then served from and written
-// through to disk.
-func WithStore(st *Store) SessionOption { return session.WithStore(st) }
+// through to it.
+func WithStore(st StoreBackend) SessionOption { return session.WithStore(st) }
 
 // Solo declares a reference run: w alone on thread 0, to completion.
 func Solo(w *Workload, opts ...RunOption) RunSpec { return session.Solo(w, opts...) }
