@@ -7,6 +7,7 @@ package main
 // regression gate. scripts/bench.sh and the CI bench job drive both.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -102,6 +103,44 @@ func benchCases(scale float64) ([]benchCase, error) {
 		benchCase{name: "engine/reference", fn: engine(1)},
 		benchCase{name: "engine/4threads", fn: engine(4)},
 	)
+
+	// The vectorizable benchmark suite (docs/BENCHMARKS.md): all seven
+	// kernels drained through a 4-context job queue, and the mtvrvv text
+	// frontend importing one exported kernel per iteration.
+	var bench []*mtvec.Workload
+	for _, spec := range mtvec.BenchWorkloads() {
+		w, err := spec.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		bench = append(bench, w)
+	}
+	cases = append(cases, benchCase{
+		name: "benchsuite/queue4",
+		fn: func() (int64, error) {
+			cfg := mtvec.DefaultConfig()
+			cfg.Contexts = 4
+			rep, err := mtvec.RunQueue(bench, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Cycles, nil
+		},
+	})
+	var rvv bytes.Buffer
+	if err := mtvec.ExportRVVTrace(&rvv, bench[0].Trace); err != nil {
+		return nil, err
+	}
+	rvvText := rvv.Bytes()
+	cases = append(cases, benchCase{
+		name: "trace/import-rvv",
+		fn: func() (int64, error) {
+			if _, err := mtvec.ImportRVVTrace(bytes.NewReader(rvvText)); err != nil {
+				return 0, err
+			}
+			return 0, nil
+		},
+	})
 
 	// Per-run API overhead, mirroring the testing.B suite: the direct
 	// machine path, a memo-less Session, and the memoized cache hit.

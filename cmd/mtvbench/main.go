@@ -11,6 +11,7 @@
 //	mtvbench -list                # available experiment ids
 //	mtvbench -catalog             # emit the docs/EXPERIMENTS.md catalog
 //	mtvbench -golden              # byte-exact suite output (docs/GOLDEN.txt)
+//	mtvbench -benchdoc            # generated section of docs/BENCHMARKS.md
 //
 // mtvbench is also the repository's perf-artifact harness (see
 // docs/PERF.md and scripts/bench.sh):
@@ -46,7 +47,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the suite after this long (0 = no limit)")
 		stored  = flag.String("store", "", "persistent result store directory: reuse results across runs and processes")
 
-		golden = flag.Bool("golden", false, "emit the byte-exact full-suite output (docs/GOLDEN.txt) and exit")
+		golden   = flag.Bool("golden", false, "emit the byte-exact full-suite output (docs/GOLDEN.txt) and exit")
+		benchdoc = flag.Bool("benchdoc", false, "emit the generated section of docs/BENCHMARKS.md and exit")
 
 		benchJSON    = flag.Bool("bench-json", false, "measure the benchmark suite and emit a BENCH JSON artifact")
 		benchOut     = flag.String("o", "", "output file for -bench-json / -bench-compare (default stdout / none)")
@@ -66,6 +68,13 @@ func main() {
 	}
 	if *catalog {
 		writeCatalog(os.Stdout)
+		return
+	}
+	if *benchdoc {
+		if err := writeBenchDoc(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mtvbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *golden {

@@ -107,7 +107,7 @@ func TestCatalogListsEveryExperiment(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"ext-policies", "ext-ports", "ext-banks", "ext-issue", "ext-compiler",
-		"ext-regfile",
+		"ext-regfile", "ext-benchsuite",
 	}
 	for _, id := range ids {
 		if !strings.Contains(out, "## `"+id+"`") {
@@ -119,6 +119,28 @@ func TestCatalogListsEveryExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out, "mtvbench -catalog") {
 		t.Error("catalog missing its own regeneration note")
+	}
+}
+
+// TestBenchDocMatchesCommitted regenerates the docs/BENCHMARKS.md
+// generated section and diffs it against the committed document — the
+// same freshness gate the CI golden job applies.
+func TestBenchDocMatchesCommitted(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "BENCHMARKS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeBenchDoc(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{benchdocBegin, benchdocEnd} {
+		if !strings.Contains(buf.String(), marker) {
+			t.Fatalf("generated section missing marker %q", marker)
+		}
+	}
+	if !bytes.Contains(doc, buf.Bytes()) {
+		t.Fatal("docs/BENCHMARKS.md generated section is stale (run: go run ./cmd/mtvbench -benchdoc)")
 	}
 }
 

@@ -23,6 +23,16 @@
 //	mtvsim -programs tf,sw -contexts 2 -latency 50 -mode group -timeout 30s
 //	mtvsim -programs tf,sw -vlen 256 -bank-rports 1 -contexts 2 -mode queue
 //	mtvsim -programs tf,sw -arch cray-ports -contexts 2 -mode queue
+//
+// Besides the built-in reconstructions (including the vectorizable
+// benchmark suite, docs/BENCHMARKS.md), -trace replays trace files:
+// binary .mtvt from tracegen, or externally generated RVV-flavoured
+// mtvrvv text (.rvv/.txt/.trace). A text trace declares its vector
+// register length; when it differs from the machine's and -vlen was
+// not given, the machine is resized to match.
+//
+//	mtvsim -trace theirs.rvv -latency 100
+//	mtvsim -trace a.mtvt,b.mtvt -contexts 2 -mode queue
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -42,6 +53,7 @@ import (
 // simOpts carries the command's flags.
 type simOpts struct {
 	programs string
+	traces   string
 	contexts int
 	latency  int
 	scalarL  int
@@ -69,12 +81,16 @@ type simOpts struct {
 
 	// scalarLSet / xbarSet record explicit flag use, so a preset's own
 	// scalar-cache and crossbar values survive unless overridden.
-	scalarLSet, xbarSet bool
+	// programsSet distinguishes the -programs default from an explicit
+	// request, so -trace alone replays only the traces. vlenSet lets a
+	// text trace's declared register length stand unless -vlen overrides.
+	scalarLSet, xbarSet, programsSet, vlenSet bool
 }
 
 func main() {
 	var o simOpts
-	flag.StringVar(&o.programs, "programs", "tf", "comma-separated program tags (sw,hy,sr,tf,a7,su,to,na,ti,sd)")
+	flag.StringVar(&o.programs, "programs", "tf", "comma-separated program tags (sw,hy,sr,tf,a7,su,to,na,ti,sd; bench suite ax,dp,gm,sp,s1,s2,bs)")
+	flag.StringVar(&o.traces, "trace", "", "comma-separated trace files to replay (.mtvt binary, or .rvv/.txt/.trace mtvrvv text)")
 	flag.IntVar(&o.contexts, "contexts", 1, "hardware contexts (1-8)")
 	flag.IntVar(&o.latency, "latency", 50, "main memory latency in cycles")
 	flag.IntVar(&o.scalarL, "scalar-latency", 4, "scalar cache latency (0 = main memory latency)")
@@ -103,6 +119,10 @@ func main() {
 			o.scalarLSet = true
 		case "xbar":
 			o.xbarSet = true
+		case "programs":
+			o.programsSet = true
+		case "vlen":
+			o.vlenSet = true
 		}
 	})
 
@@ -176,6 +196,46 @@ func rfMachine(rf mtvec.RegFile, o simOpts) mtvec.RegFile {
 	return rf
 }
 
+// loadTraces reads each trace file into a replayable workload, picking
+// the format by extension (.rvv/.txt/.trace -> mtvrvv text, else binary
+// .mtvt). The second result is the vector register length the text
+// traces declare (0 when none does — binary traces carry no cap);
+// conflicting declarations are an error.
+func loadTraces(paths []string) ([]*mtvec.Workload, int64, error) {
+	var ws []*mtvec.Workload
+	var vlen int64
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		var tr *mtvec.Trace
+		switch filepath.Ext(path) {
+		case ".rvv", ".txt", ".trace":
+			tr, err = mtvec.ImportRVVTrace(f)
+		default:
+			tr, err = mtvec.DecodeTrace(f)
+		}
+		f.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		w, err := mtvec.WorkloadFromTrace(name, tr)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
+		}
+		if tr.MaxVL > 0 {
+			if vlen > 0 && vlen != tr.MaxVL {
+				return nil, 0, fmt.Errorf("%s: declares vlen %d, but an earlier trace declared %d", path, tr.MaxVL, vlen)
+			}
+			vlen = tr.MaxVL
+		}
+		ws = append(ws, w)
+	}
+	return ws, vlen, nil
+}
+
 // progressMeter is the run Observer behind partial-progress reporting:
 // it remembers the last coarse-stride progress point the simulator
 // streamed, so a cancelled run can still say how far it got.
@@ -198,7 +258,18 @@ func run(ctx context.Context, w io.Writer, o simOpts) error {
 			tags = append(tags, tag)
 		}
 	}
-	if len(tags) == 0 {
+	var traceFiles []string
+	for _, p := range strings.Split(o.traces, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			traceFiles = append(traceFiles, p)
+		}
+	}
+	// -trace alone replays only the traces; the -programs default kicks
+	// in only when it was asked for (or no traces were given).
+	if len(traceFiles) > 0 && !o.programsSet {
+		tags = nil
+	}
+	if len(tags) == 0 && len(traceFiles) == 0 {
 		return fmt.Errorf("no programs given")
 	}
 	if o.timeout > 0 {
@@ -207,12 +278,22 @@ func run(ctx context.Context, w io.Writer, o simOpts) error {
 		defer cancel()
 	}
 
+	traced, traceVL, err := loadTraces(traceFiles)
+	if err != nil {
+		return err
+	}
+
 	// Resolve the machine shape: preset (if any) plus register-file
 	// overrides. The workloads are compiled for the same organization,
 	// so the machine runs code its compiler would have produced.
 	shape, rf, shaped, err := o.resolveShape()
 	if err != nil {
 		return err
+	}
+	// A text trace declares the register length it was generated for;
+	// resize the machine to match unless -vlen explicitly overrides.
+	if traceVL > 0 && !o.vlenSet && int(traceVL) != rf.VLen {
+		rf.VLen, shaped = int(traceVL), true
 	}
 
 	// Trace reconstruction is the expensive part of a short run; build
@@ -225,7 +306,11 @@ func run(ctx context.Context, w io.Writer, o simOpts) error {
 	}
 	built := make(chan buildResult, 1)
 	go func() {
-		ws, err := mtvec.BuildWorkloadsRegFile(tags, o.scale, o.jobs, rf)
+		var ws []*mtvec.Workload
+		var err error
+		if len(tags) > 0 {
+			ws, err = mtvec.BuildWorkloadsRegFile(tags, o.scale, o.jobs, rf)
+		}
 		built <- buildResult{ws, err}
 	}()
 	var ws []*mtvec.Workload
@@ -238,6 +323,7 @@ func run(ctx context.Context, w io.Writer, o simOpts) error {
 		}
 		ws = r.ws
 	}
+	ws = append(ws, traced...)
 
 	meter := newProgressMeter()
 	var opts []mtvec.RunOption

@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"mtvec"
 )
 
 const testScale = 5e-5
@@ -81,6 +85,95 @@ func TestRunErrors(t *testing.T) {
 		_, err := runWith(t, o)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%+v: err = %v, want containing %q", c, err, c.want)
+		}
+	}
+}
+
+// writeTestTrace builds a benchmark workload and exports its trace as
+// RVV text, returning the file path.
+func writeTestTrace(t *testing.T, short, name string) string {
+	t.Helper()
+	spec := mtvec.WorkloadByShort(short)
+	if spec == nil {
+		t.Fatalf("unknown workload %q", short)
+	}
+	w, err := spec.Build(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mtvec.ExportRVVTrace(f, w.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBenchSuiteProgram(t *testing.T) {
+	o := opts()
+	o.programs = "ax,bs"
+	o.contexts = 2
+	o.mode = "queue"
+	out, err := runWith(t, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ax") || !strings.Contains(out, "bs") {
+		t.Fatalf("bench threads missing from report:\n%s", out)
+	}
+}
+
+func TestRunImportedTrace(t *testing.T) {
+	path := writeTestTrace(t, "ax", "axpy.rvv")
+	o := opts()
+	o.traces = path
+	// programsSet is false, so the -programs default must not sneak in:
+	// the only thread is the imported trace, named after its file.
+	out, err := runWith(t, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "axpy") || strings.Contains(out, "tf") {
+		t.Fatalf("trace-only run ran the wrong workloads:\n%s", out)
+	}
+}
+
+func TestRunTraceAlongsidePrograms(t *testing.T) {
+	path := writeTestTrace(t, "dp", "dot.rvv")
+	o := opts()
+	o.traces = path
+	o.programsSet = true
+	o.contexts = 2
+	o.mode = "queue"
+	out, err := runWith(t, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tf") || !strings.Contains(out, "dot") {
+		t.Fatalf("mixed program/trace run missing a thread:\n%s", out)
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.rvv")
+	if err := os.WriteFile(bad, []byte("format: mtvrvv/1\nbogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ traces, want string }{
+		{filepath.Join(dir, "missing.mtvt"), "no such file"},
+		{bad, "line 2:"},
+	} {
+		o := opts()
+		o.traces = c.traces
+		if _, err := runWith(t, o); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("traces %q: err = %v, want containing %q", c.traces, err, c.want)
 		}
 	}
 }

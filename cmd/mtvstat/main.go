@@ -3,7 +3,9 @@
 //
 //	mtvstat                      # all ten programs
 //	mtvstat -program sw          # one program
+//	mtvstat -program bench       # the vectorizable benchmark suite
 //	mtvstat -trace swm256.mtvt   # a trace file
+//	mtvstat -trace theirs.rvv    # imported mtvrvv text (docs/BENCHMARKS.md)
 //
 // In -trace mode the catalog flags do not apply: giving -program or
 // -scale alongside -trace is a usage error, not a silent no-op (a trace
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mtvec"
 )
@@ -36,8 +39,8 @@ func usagef(format string, args ...any) error {
 
 func main() {
 	var (
-		program = flag.String("program", "all", "program tag or 'all'")
-		traceF  = flag.String("trace", "", "trace file to analyze instead")
+		program = flag.String("program", "all", "program tag, 'all' (Table 3) or 'bench' (benchmark suite)")
+		traceF  = flag.String("trace", "", "trace file to analyze instead (.mtvt binary or mtvrvv text)")
 		scale   = flag.Float64("scale", mtvec.DefaultScale, "workload scale")
 	)
 	flag.Parse()
@@ -87,7 +90,13 @@ func run(program, traceF string, scale float64, programSet, scaleSet bool) error
 			return err
 		}
 		defer f.Close()
-		tr, err := mtvec.DecodeTrace(f)
+		var tr *mtvec.Trace
+		switch filepath.Ext(traceF) {
+		case ".rvv", ".txt", ".trace":
+			tr, err = mtvec.ImportRVVTrace(f)
+		default:
+			tr, err = mtvec.DecodeTrace(f)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", traceF, err)
 		}
@@ -106,9 +115,12 @@ func run(program, traceF string, scale float64, programSet, scaleSet bool) error
 		return usagef("-scale %g out of range (need > 0)", scale)
 	}
 	var specs []*mtvec.WorkloadSpec
-	if program == "all" {
+	switch program {
+	case "all":
 		specs = mtvec.Workloads()
-	} else {
+	case "bench":
+		specs = mtvec.BenchWorkloads()
+	default:
 		s := mtvec.WorkloadByShort(program)
 		if s == nil {
 			s = mtvec.WorkloadByName(program)

@@ -26,6 +26,34 @@ func TestStatsAll(t *testing.T) {
 	}
 }
 
+func TestStatsBenchSuite(t *testing.T) {
+	if err := run("bench", "", 2e-5, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("sp", "", 2e-5, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsFromRVVTrace(t *testing.T) {
+	w, err := mtvec.WorkloadByShort("ax").Build(5e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "axpy.rvv")
+	f, err := createFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mtvec.ExportRVVTrace(f, w.Trace); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("all", path, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func writeTrace(t *testing.T) string {
 	t.Helper()
 	w, err := mtvec.WorkloadByShort("sd").Build(5e-5)

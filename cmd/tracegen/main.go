@@ -5,6 +5,15 @@
 //
 //	tracegen -program sw -o swm256.mtvt
 //	tracegen -program all -dir traces/
+//	tracegen -program axpy -format rvv -o axpy.rvv
+//
+// It is also the ingest path for externally generated RVV-flavoured
+// text traces (the mtvrvv format, docs/BENCHMARKS.md): -import parses
+// and validates a text trace — LMUL register groups and masked ops are
+// lowered onto the engine's forms — and writes the binary .mtvt any
+// simulator here replays:
+//
+//	tracegen -import theirs.rvv -o theirs.mtvt
 package main
 
 import (
@@ -12,35 +21,82 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mtvec"
 )
 
 func main() {
 	var (
-		program = flag.String("program", "", "program tag (sw, hy, ...) or 'all'")
-		out     = flag.String("o", "", "output file (single program)")
+		program = flag.String("program", "", "program tag or name (sw, axpy, ...) or 'all'")
+		imp     = flag.String("import", "", "ingest an RVV-flavoured text trace instead of building a program")
+		format  = flag.String("format", "mtvt", "export format: mtvt (binary) or rvv (mtvrvv text)")
+		out     = flag.String("o", "", "output file (single program or -import)")
 		dir     = flag.String("dir", ".", "output directory for -program all")
 		scale   = flag.Float64("scale", mtvec.DefaultScale, "workload scale")
-		verify  = flag.Bool("verify", true, "decode the file back and check the stats match")
+		verify  = flag.Bool("verify", true, "read the file back and check the stats match")
 	)
 	flag.Parse()
 
-	if *program == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -program required (or 'all')")
+	var err error
+	switch {
+	case *imp != "":
+		err = runImport(*imp, *out, *verify)
+	case *program == "":
+		fmt.Fprintln(os.Stderr, "tracegen: -program or -import required")
 		os.Exit(2)
+	default:
+		err = run(*program, *format, *out, *dir, *scale, *verify)
 	}
-	if err := run(*program, *out, *dir, *scale, *verify); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(program, out, dir string, scale float64, verify bool) error {
+// runImport ingests an mtvrvv text trace and writes it as binary .mtvt.
+func runImport(in, out string, verify bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	tr, err := mtvec.ImportRVVTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	st, n, err := mtvec.TraceStats(tr)
+	if err != nil {
+		return fmt.Errorf("%s: imported trace does not replay: %w", in, err)
+	}
+	if out == "" {
+		out = strings.TrimSuffix(in, filepath.Ext(in)) + ".mtvt"
+	}
+	if err := writeTrace(out, tr); err != nil {
+		return err
+	}
+	fmt.Printf("%s: imported %d dynamic instructions (%.1f%% vectorized, avg VL %.1f) -> %s\n",
+		in, n, st.PctVectorized(), st.AvgVL(), out)
+	if tr.MaxVL != 0 && tr.MaxVL != int64(mtvec.DefaultRegFile().VLen) {
+		fmt.Printf("note: trace vlen %d differs from the reference register length; replay with a matching -vlen\n", tr.MaxVL)
+	}
+	if verify {
+		return verifyTrace(out, st, tr.MaxVL)
+	}
+	return nil
+}
+
+func run(program, format, out, dir string, scale float64, verify bool) error {
+	if format != "mtvt" && format != "rvv" {
+		return fmt.Errorf("unknown format %q (want mtvt or rvv)", format)
+	}
 	var specs []*mtvec.WorkloadSpec
-	if program == "all" {
+	switch program {
+	case "all":
 		specs = mtvec.Workloads()
-	} else {
+	case "bench":
+		specs = mtvec.BenchWorkloads()
+	default:
 		s := mtvec.WorkloadByShort(program)
 		if s == nil {
 			s = mtvec.WorkloadByName(program)
@@ -57,18 +113,10 @@ func run(program, out, dir string, scale float64, verify bool) error {
 			return err
 		}
 		path := out
-		if path == "" || program == "all" {
-			path = filepath.Join(dir, spec.Name+".mtvt")
+		if path == "" || program == "all" || program == "bench" {
+			path = filepath.Join(dir, spec.Name+"."+format)
 		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := mtvec.EncodeTrace(f, w.Trace); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeTrace(path, w.Trace); err != nil {
 			return err
 		}
 		info, err := os.Stat(path)
@@ -78,23 +126,69 @@ func run(program, out, dir string, scale float64, verify bool) error {
 		fmt.Printf("%s: %d dynamic instructions, %d bytes\n", path, w.Stats.Insts(), info.Size())
 
 		if verify {
-			g, err := os.Open(path)
-			if err != nil {
+			if err := verifyTrace(path, w.Stats, w.Trace.MaxVL); err != nil {
 				return err
 			}
-			tr, err := mtvec.DecodeTrace(g)
-			g.Close()
-			if err != nil {
-				return fmt.Errorf("%s: verification decode failed: %w", path, err)
-			}
-			st, _, err := mtvec.TraceStats(tr)
-			if err != nil {
-				return fmt.Errorf("%s: replay failed: %w", path, err)
-			}
-			if st != w.Stats {
-				return fmt.Errorf("%s: replayed statistics differ from the original", path)
-			}
 		}
+	}
+	return nil
+}
+
+// writeTrace writes the trace in the format implied by the path's
+// extension (.rvv or other text-y suffixes -> mtvrvv text, else binary).
+func writeTrace(path string, tr *mtvec.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if isText(path) {
+		err = mtvec.ExportRVVTrace(f, tr)
+	} else {
+		err = mtvec.EncodeTrace(f, tr)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func isText(path string) bool {
+	switch filepath.Ext(path) {
+	case ".rvv", ".txt", ".trace":
+		return true
+	}
+	return false
+}
+
+// verifyTrace reads the file back and checks the replayed statistics
+// match the original build. maxVL restores the register-length cap for
+// binary files (the .mtvt container does not carry it; the text format
+// does, in its vlen header).
+func verifyTrace(path string, want mtvec.ProgramStats, maxVL int64) error {
+	g, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	var tr *mtvec.Trace
+	if isText(path) {
+		tr, err = mtvec.ImportRVVTrace(g)
+	} else {
+		tr, err = mtvec.DecodeTrace(g)
+		if err == nil {
+			tr.MaxVL = maxVL
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("%s: verification read failed: %w", path, err)
+	}
+	st, _, err := mtvec.TraceStats(tr)
+	if err != nil {
+		return fmt.Errorf("%s: replay failed: %w", path, err)
+	}
+	if st != want {
+		return fmt.Errorf("%s: replayed statistics differ from the original", path)
 	}
 	return nil
 }

@@ -3,13 +3,14 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestGenerateAndVerify(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "sd.mtvt")
-	if err := run("sd", out, dir, 5e-5, true); err != nil {
+	if err := run("sd", "mtvt", out, dir, 5e-5, true); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(out)
@@ -20,7 +21,7 @@ func TestGenerateAndVerify(t *testing.T) {
 
 func TestGenerateAllToDir(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("all", "", dir, 2e-5, false); err != nil {
+	if err := run("all", "mtvt", "", dir, 2e-5, false); err != nil {
 		t.Fatal(err)
 	}
 	files, _ := filepath.Glob(filepath.Join(dir, "*.mtvt"))
@@ -29,8 +30,51 @@ func TestGenerateAllToDir(t *testing.T) {
 	}
 }
 
+func TestGenerateBenchSuiteRVV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("bench", "rvv", "", dir, 1e-4, true); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.rvv"))
+	if len(files) != 7 {
+		t.Fatalf("trace files = %d, want 7", len(files))
+	}
+}
+
+func TestImportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rvv := filepath.Join(dir, "axpy.rvv")
+	if err := run("ax", "rvv", rvv, dir, 1e-4, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runImport(rvv, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "axpy.mtvt")); err != nil {
+		t.Fatalf("default .mtvt output missing: %v", err)
+	}
+}
+
+func TestImportCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.rvv")
+	if err := os.WriteFile(bad, []byte("format: mtvrvv/1\nbogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runImport(bad, "", false)
+	if err == nil || !strings.Contains(err.Error(), "line 2:") {
+		t.Fatalf("corrupt import error = %v, want line diagnostic", err)
+	}
+}
+
 func TestUnknownProgram(t *testing.T) {
-	if err := run("zz", "", t.TempDir(), 1e-4, false); err == nil {
+	if err := run("zz", "mtvt", "", t.TempDir(), 1e-4, false); err == nil {
 		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	if err := run("sd", "elf", "", t.TempDir(), 1e-4, false); err == nil {
+		t.Fatal("unknown format accepted")
 	}
 }

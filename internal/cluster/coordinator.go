@@ -660,11 +660,7 @@ func (c *Coordinator) pickProxyTarget() (string, bool) {
 }
 
 func (c *Coordinator) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	var list []workloadInfo
-	for _, spec := range mtvec.Workloads() {
-		list = append(list, workloadInfo{Name: spec.Name, Short: spec.Short, Suite: spec.Suite})
-	}
-	writeJSON(w, http.StatusOK, list)
+	writeJSON(w, http.StatusOK, workloadCatalog())
 }
 
 func (c *Coordinator) handleExperiments(w http.ResponseWriter, r *http.Request) {

@@ -556,11 +556,21 @@ type workloadInfo struct {
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, workloadCatalog())
+}
+
+// workloadCatalog lists every runnable program: the Table 3
+// reconstructions followed by the vectorizable benchmark suite
+// (docs/BENCHMARKS.md) — the same union the run endpoints resolve.
+func workloadCatalog() []workloadInfo {
 	var list []workloadInfo
 	for _, spec := range mtvec.Workloads() {
 		list = append(list, workloadInfo{Name: spec.Name, Short: spec.Short, Suite: spec.Suite})
 	}
-	writeJSON(w, http.StatusOK, list)
+	for _, spec := range mtvec.BenchWorkloads() {
+		list = append(list, workloadInfo{Name: spec.Name, Short: spec.Short, Suite: spec.Suite})
+	}
+	return list
 }
 
 // healthResponse is the /healthz body: liveness plus cache counters.

@@ -55,8 +55,18 @@ func TestHealthAndCatalogs(t *testing.T) {
 
 	var ws []workloadInfo
 	do(t, h, "GET", "/api/v1/workloads", "", &ws)
-	if len(ws) != 10 {
-		t.Fatalf("workloads = %d, want 10", len(ws))
+	// Ten Table 3 reconstructions plus the seven-kernel benchmark suite.
+	if len(ws) != 17 {
+		t.Fatalf("workloads = %d, want 17", len(ws))
+	}
+	bench := 0
+	for _, w := range ws {
+		if w.Suite == "Bench" {
+			bench++
+		}
+	}
+	if bench != 7 {
+		t.Fatalf("bench-suite catalog entries = %d, want 7", bench)
 	}
 
 	var exps []experimentInfo

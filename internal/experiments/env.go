@@ -58,6 +58,9 @@ type Env struct {
 	// register-file organization (arch.RegFile.BuildKey), for the
 	// register-file organization study.
 	archSuites runner.Cache[arch.RegFile, []*workload.Workload]
+	// benchArch is archSuites for the real benchmark suite (BenchOrder);
+	// the zero-key entry is the default-organization build.
+	benchArch runner.Cache[arch.RegFile, []*workload.Workload]
 }
 
 // ctxBox wraps a context for atomic storage (contexts have varying
@@ -298,6 +301,54 @@ func (e *Env) suiteFor(rf arch.RegFile) ([]*workload.Workload, error) {
 		}
 		return out, nil
 	})
+}
+
+// BenchSuite builds (once) the real vectorizable benchmark suite
+// (workload.BenchOrder) compiled for the given register-file
+// organization; the zero organization is the reference build. The
+// kernels resolve through the same registry as the Table 3 programs, so
+// they run through the identical session machinery (memoization, store
+// persistence, lockstep batching).
+func (e *Env) BenchSuite(rf arch.RegFile) ([]*workload.Workload, error) {
+	key := arch.RegFile{}
+	if !rf.IsZero() && rf.BuildKey() != arch.DefaultRegFile().BuildKey() {
+		key = rf.BuildKey()
+	}
+	return e.benchArch.DoContext(e.runCtx(), key, func() ([]*workload.Workload, error) {
+		specs := workload.BenchOrder()
+		out := make([]*workload.Workload, len(specs))
+		pool := runner.New(4 * e.Jobs())
+		err := pool.Map(len(specs), func(i int) (err error) {
+			if err := e.runCtx().Err(); err != nil {
+				return err
+			}
+			if key.IsZero() {
+				out[i], err = e.W(specs[i].Short) // admits through the gate itself
+			} else {
+				e.ses.Do(func() { out[i], err = specs[i].BuildOpts(e.Scale, vcomp.Options{RegFile: key}) })
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}
+
+// BenchQueueRun executes (once) the benchmark-suite job queue under the
+// spec: all kernels in catalog order, threads pulling the next job as
+// they finish — the Section 7 methodology applied to the real suite.
+func (e *Env) BenchQueueRun(s QueueSpec) (*stats.Report, error) {
+	ws, err := e.BenchSuite(s.RegFile)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := e.ses.Run(e.runCtx(), session.Queue(ws, s.options()...))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: bench queue run (%d ctx, lat %d): %w", s.Contexts, s.Latency, err)
+	}
+	return rep, nil
 }
 
 // NaiveSuite builds (once) the queue-order workloads with the compiler's

@@ -39,7 +39,7 @@ func All() []Experiment {
 		fig4Exp(), fig5Exp(), fig6Exp(), fig7Exp(), fig8Exp(),
 		fig9Exp(), fig10Exp(), fig11Exp(), fig12Exp(),
 		extPoliciesExp(), extPortsExp(), extBanksExp(), extIssueExp(), extCompilerExp(),
-		extRegfileExp(),
+		extRegfileExp(), extBenchsuiteExp(),
 	}
 }
 

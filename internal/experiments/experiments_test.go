@@ -31,8 +31,8 @@ func runExp(t *testing.T, id string) *Result {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("experiments = %d, want 18 (3 tables + 9 figures + 6 extensions)", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("experiments = %d, want 19 (3 tables + 9 figures + 7 extensions)", len(ids))
 	}
 	for _, id := range ids {
 		if ByID(id) == nil {
@@ -330,6 +330,49 @@ func TestExtensions(t *testing.T) {
 	}
 	if penalty["2"] > penalty["1"] || penalty["3"] > penalty["2"]+0.02 {
 		t.Errorf("penalty should shrink with contexts: %v", penalty)
+	}
+}
+
+func TestExtBenchsuite(t *testing.T) {
+	res := runExp(t, "ext-benchsuite")
+	if len(res.Tables) != 3 {
+		t.Fatalf("tables = %d, want characterization + latency sweep + policy sweep", len(res.Tables))
+	}
+	ct := res.Tables[0]
+	if len(ct.Rows) != 7 {
+		t.Fatalf("characterization rows = %d, want 7 kernels", len(ct.Rows))
+	}
+	for _, row := range ct.Rows {
+		if v := cell(t, row[1]); v < 50 || v > 100 {
+			t.Errorf("%s: vectorization %.1f%% implausible", row[0], v)
+		}
+	}
+	// Latency tolerance on real dataflow: at latency 100 the 4-context
+	// queue must beat the single context clearly (7 heterogeneous jobs
+	// on 4 contexts leave a serial tail, so well short of 4x).
+	for _, row := range res.Tables[1].Rows {
+		if row[0] == "100" && row[1] == "4" {
+			if v := cell(t, row[3]); v < 1.2 {
+				t.Errorf("4-context speedup at latency 100 = %.3f, want > 1.2", v)
+			}
+		}
+	}
+	if rows := len(res.Tables[2].Rows); rows != 8 {
+		t.Errorf("policy rows = %d, want 4 policies x 2 context counts", rows)
+	}
+
+	// The suite runs through the same memoized session paths as the
+	// Table 3 programs.
+	q1, err := testEnv.BenchQueueRun(QueueSpec{Contexts: 2, Latency: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := testEnv.BenchQueueRun(QueueSpec{Contexts: 2, Latency: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Fatal("bench queue runs not memoized")
 	}
 }
 

@@ -1,12 +1,23 @@
-// Package kernel is the loop-nest intermediate representation the
-// synthetic workloads are written in: a "little Fortran" of vectorizable
-// loops over arrays, indexed (gather/scatter) accesses, reductions and
-// non-vectorizable scalar loops.
+// Package kernel is the loop-nest intermediate representation every
+// workload is written in: a "little Fortran" of vectorizable loops over
+// arrays, indexed (gather/scatter) accesses, reductions, predicated
+// compare-merge selects and non-vectorizable scalar loops.
 //
-// The paper's benchmarks were real Perfect Club / SPECfp92 programs
-// compiled by the Convex Fortran compiler; here each benchmark is a small
-// set of kernels in this IR, compiled by internal/vcomp into ISA programs
-// and calibrated by internal/workload to match Table 3.
+// A Kernel is a named set of Units. The vectorizable ones are
+// VectorLoops — each Stmt an element-wise expression tree (Bin/Un over
+// Ref, Gather, ScalarArg) assigned to a destination Array or folded
+// through a named reduction — and ScalarLoops model the serial code
+// between them as load/store/integer/FP operation counts. internal/vcomp
+// compiles a Kernel into an ISA program; an invocation schedule then
+// instantiates loop trip counts at run time.
+//
+// Two workload catalogs build on the IR (internal/workload): the
+// paper's ten Perfect Club / SPECfp92 programs reconstructed as
+// synthetic kernels calibrated to Table 3 — the real programs cannot be
+// traced without a Convex C3480 and its Fortran compiler — and the real
+// vectorizable benchmark suite (axpy, dot, blocked gemm, CSR spmv,
+// stencils, Black-Scholes), scheduled from actual problem sizes and
+// documented in docs/BENCHMARKS.md.
 package kernel
 
 import "fmt"

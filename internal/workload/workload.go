@@ -1,15 +1,40 @@
-// Package workload reconstructs the paper's ten Perfect Club / SPECfp92
-// benchmark programs (Table 3) as synthetic kernels calibrated to the
-// published dynamic profiles: scalar instruction count, vector
-// instruction count, vector operation count, degree of vectorization and
-// average vector length.
+// Package workload turns kernel IR into runnable benchmark programs:
+// compiled traces plus the metadata the session, store and serving
+// tiers key on.
 //
-// The real programs cannot be traced without a Convex C3480 and its
-// Fortran compiler; per DESIGN.md the substitution preserves the
-// quantities the paper's effects depend on. Each workload is a kernel of
-// domain-flavoured vector loops (stencils, axpy, reductions,
-// gather/scatter, strided column walks) plus a serial loop, with an
-// invocation schedule solved by the calibration planner in plan.go.
+// Two catalogs are registered:
+//
+//   - Specs: the paper's ten Perfect Club / SPECfp92 programs (Table 3)
+//     as synthetic kernels calibrated to the published dynamic profiles
+//     — scalar instruction count, vector instruction count, vector
+//     operation count, degree of vectorization and average vector
+//     length. The real programs cannot be traced without a Convex C3480
+//     and its Fortran compiler; per DESIGN.md the substitution preserves
+//     the quantities the paper's effects depend on. Each workload is a
+//     kernel of domain-flavoured vector loops (stencils, axpy,
+//     reductions, gather/scatter, strided column walks) plus a serial
+//     loop, with an invocation schedule solved by the calibration
+//     planner in plan.go.
+//
+//   - BenchSpecs: a real vectorizable benchmark suite (axpy, dot, a
+//     blocked gemm, CSR spmv, 1-D/2-D stencils, a Black-Scholes-class
+//     elementwise kernel) expressed in the same IR but scheduled from
+//     actual problem sizes (bench.go) rather than published instruction
+//     budgets. See docs/BENCHMARKS.md.
+//
+// # Registration contract
+//
+// ByName and ByShort resolve over the union of both catalogs, and the
+// session layer defines a workload's identity by registry membership: a
+// *Workload whose Spec pointer is reachable through ByName(Spec.Name)
+// gets a stable, content-addressed persist key of the form
+// "name@scale[+options]+fp<stats fingerprint>", which is what lets the
+// on-disk store and the cluster tier share results across processes.
+// New kernels therefore MUST be added to one of the two registries (and
+// keep their recipes deterministic — same Spec + Scale + Options must
+// always produce the identical trace) to be store-persistable; an
+// unregistered Spec (a user kernel, or a trace imported with FromTrace)
+// still works everywhere but is memoized per-process only.
 package workload
 
 import (
@@ -26,21 +51,34 @@ import (
 // keeps every ratio intact at roughly thousandth size).
 const DefaultScale = 1e-3
 
-// Spec describes one benchmark program: its Table 3 row and the kernel
-// construction recipe.
+// Spec describes one benchmark program: its catalog row and the kernel
+// construction recipe. Specs are immutable once published through
+// Specs/BenchSpecs; the pointer itself is the registry identity the
+// session layer checks when deriving persist keys.
 type Spec struct {
-	Name  string // paper name, e.g. "swm256"
-	Short string // paper's two-letter tag, e.g. "sw"
-	Suite string // "Spec" or "Perf."
+	Name  string // program name, e.g. "swm256" or "spmv"
+	Short string // short tag, e.g. "sw" (paper) or "sp" (bench suite)
+	Suite string // "Spec", "Perf." (Table 3) or "Bench"
 
-	// Table 3 columns, in millions of instructions/operations.
+	// Table 3 columns, in millions of instructions/operations. Zero for
+	// the bench suite, whose dynamic profile is measured from the built
+	// trace instead of calibrated to a published row.
 	ScalarM float64
 	VectorM float64
 	OpsM    float64
 	PctVect float64 // published degree of vectorization (%)
 	AvgVL   float64 // published average vector length
 
+	// build constructs the kernel and, for calibrated specs, the phases
+	// the Table 3 planner consumes.
 	build func() (*kernel.Kernel, []phase)
+
+	// schedule, when non-nil, replaces the calibration planner: it
+	// receives the compiled kernel and the requested scale and returns
+	// the invocation schedule directly. Bench-suite specs use it to
+	// scale real problem sizes (elements, matrix dimensions) instead of
+	// instruction budgets. It must be deterministic in (c, scale).
+	schedule func(c *vcomp.Compiled, scale float64) ([]vcomp.Invocation, error)
 }
 
 // phase is one vector loop of the recipe: trip count per invocation and
@@ -84,7 +122,12 @@ func (s *Spec) BuildOpts(scale float64, opts vcomp.Options) (*Workload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: %w", s.Name, err)
 	}
-	sched, err := plan(c, s, phases, scale)
+	var sched []vcomp.Invocation
+	if s.schedule != nil {
+		sched, err = s.schedule(c, scale)
+	} else {
+		sched, err = plan(c, s, phases, scale)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: %w", s.Name, err)
 	}
@@ -128,9 +171,15 @@ func BuildAll(scale float64) ([]*Workload, error) {
 	return out, nil
 }
 
-// ByShort returns the spec with the given two-letter tag, or nil.
+// ByShort returns the registered spec with the given short tag — from
+// the Table 3 catalog or the bench suite — or nil.
 func ByShort(short string) *Spec {
 	for _, s := range Specs() {
+		if s.Short == short {
+			return s
+		}
+	}
+	for _, s := range BenchSpecs() {
 		if s.Short == short {
 			return s
 		}
@@ -138,14 +187,48 @@ func ByShort(short string) *Spec {
 	return nil
 }
 
-// ByName returns the spec with the given program name, or nil.
+// ByName returns the registered spec with the given program name — from
+// the Table 3 catalog or the bench suite — or nil.
 func ByName(name string) *Spec {
 	for _, s := range Specs() {
 		if s.Name == name {
 			return s
 		}
 	}
+	for _, s := range BenchSpecs() {
+		if s.Name == name {
+			return s
+		}
+	}
 	return nil
+}
+
+// FromTrace wraps an externally supplied trace — decoded from a .mtvt
+// file or imported from an RVV-flavoured text trace — as a runnable
+// Workload. The trace is replay-validated and profiled exactly like a
+// built workload. The synthesized Spec is deliberately NOT registered:
+// the session layer will run, memoize and batch the workload normally,
+// but never persist it to the store (an external trace has no
+// content-addressed recipe to key on, only process-local identity).
+// Machines replaying the workload must be configured with a register
+// file whose VLen matches the trace's MaxVL when it differs from the
+// reference length.
+func FromTrace(name string, tr *trace.Trace) (*Workload, error) {
+	if tr == nil || tr.Prog == nil {
+		return nil, fmt.Errorf("workload: FromTrace: nil trace")
+	}
+	if name == "" {
+		name = tr.Prog.Name
+	}
+	if name == "" {
+		return nil, fmt.Errorf("workload: FromTrace: trace has no program name")
+	}
+	_, st, err := prog.NewStreamVL(tr.Prog, tr.Source(), tr.MaxVL).Drain()
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: trace does not replay: %w", name, err)
+	}
+	spec := &Spec{Name: name, Short: name, Suite: "Import"}
+	return &Workload{Spec: spec, Scale: 1, Trace: tr, Stats: st}, nil
 }
 
 // QueueOrder returns the ten specs in the fixed random order of the

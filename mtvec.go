@@ -201,6 +201,34 @@ func WorkloadByName(name string) *WorkloadSpec { return workload.ByName(name) }
 // QueueOrder returns the Section 7 fixed job order.
 func QueueOrder() []*WorkloadSpec { return workload.QueueOrder() }
 
+// BenchWorkloads returns the real vectorizable benchmark suite (axpy,
+// dot, gemm, spmv, 1-D/2-D stencils, blackscholes) in catalog order.
+// The kernels register through the same catalog as the Table 3
+// programs — WorkloadByShort/WorkloadByName resolve them, and sessions
+// sweep, memoize, persist, batch and serve them identically. See
+// docs/BENCHMARKS.md.
+func BenchWorkloads() []*WorkloadSpec { return workload.BenchSpecs() }
+
+// WorkloadFromTrace wraps an externally produced trace (DecodeTrace or
+// ImportRVVTrace) as a runnable Workload: replay-validated, profiled,
+// memoized per-process, but never store-persisted (an imported trace
+// has no content-addressed build recipe). name may be empty to use the
+// trace's program name.
+func WorkloadFromTrace(name string, t *Trace) (*Workload, error) {
+	return workload.FromTrace(name, t)
+}
+
+// ExportRVVTrace writes the trace as mtvrvv/1 text — the RVV-flavoured
+// exchange format of docs/BENCHMARKS.md — one dynamic instruction per
+// line.
+func ExportRVVTrace(w io.Writer, t *Trace) error { return trace.ExportRVV(w, t) }
+
+// ImportRVVTrace parses an mtvrvv text trace (hand-written or generated
+// by external tooling), lowering LMUL register groups and masked ops
+// onto the engine's forms. Malformed inputs are rejected with one
+// line-numbered diagnostic per defect, joined.
+func ImportRVVTrace(r io.Reader) (*Trace, error) { return trace.ImportRVV(r) }
+
 // PolicyByName returns a thread-switch policy ("unfair", "roundrobin",
 // "everycycle", "lru"), or nil.
 func PolicyByName(name string) Policy { return sched.ByName(name) }
