@@ -34,6 +34,10 @@ type BenchFile struct {
 	Scale       float64 `json:"scale"`
 	BenchtimeMS int64   `json:"benchtime_ms"`
 	Count       int     `json:"count"`
+	// Jobs is the gate width the sweep cases ran under (-bench-jobs).
+	// Compare artifacts recorded at the same width: parallel lanes make
+	// jobs part of the measurement, not just the machine environment.
+	Jobs int `json:"jobs,omitempty"`
 
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
@@ -59,8 +63,10 @@ type benchCase struct {
 
 // benchCases builds the suite: one case per registered experiment (fresh
 // environment per iteration, mirroring the repository's testing.B suite)
-// plus the raw engine throughput cases.
-func benchCases(scale float64) ([]benchCase, error) {
+// plus the raw engine throughput cases. jobs is the session gate width
+// the sweep cases run under: 1 measures work per core, >1 additionally
+// measures the parallel lane engine.
+func benchCases(scale float64, jobs int) ([]benchCase, error) {
 	var cases []benchCase
 	for _, e := range mtvec.Experiments() {
 		exp := e
@@ -189,10 +195,12 @@ func benchCases(scale float64) ([]benchCase, error) {
 	)
 
 	// Lockstep batch engine vs per-point dispatch: the same memo-missed
-	// eight-point latency sweep over one compiled kernel, on one gate
-	// slot either way so the comparison is work per core, not
-	// parallelism. sweep/perpoint ns/op over sweep/batch8 ns/op is the
-	// recorded batch speedup (docs/PERF.md, "Lockstep batching").
+	// eight-point latency sweep over one compiled kernel, under the
+	// -bench-jobs gate width either way. At jobs=1 the comparison is
+	// work per core; at jobs>1 the batch side also exercises parallel
+	// lanes and adaptive shaping. sweep/perpoint ns/op over
+	// sweep/batch8 ns/op is the recorded batch speedup (docs/PERF.md,
+	// "Lockstep batching" and "Parallel lanes").
 	sweepKernel, err := compileSweepKernel()
 	if err != nil {
 		return nil, err
@@ -202,31 +210,67 @@ func benchCases(scale float64) ([]benchCase, error) {
 		{Unit: 0, N: 1 << 14},
 		{Unit: 1, N: 1 << 14},
 	}
+	runSweep := func(specs []mtvec.RunSpec, batching bool) (int64, error) {
+		opts := []mtvec.SessionOption{mtvec.WithJobs(jobs)}
+		if !batching {
+			opts = append(opts, mtvec.WithoutBatching())
+		}
+		ses := mtvec.NewSession(opts...)
+		reps, err := ses.RunAll(ctx, specs...)
+		if err != nil {
+			return 0, err
+		}
+		var cycles int64
+		for _, rep := range reps {
+			cycles += rep.Cycles
+		}
+		return cycles, nil
+	}
 	sweep := func(batching bool) func() (int64, error) {
 		return func() (int64, error) {
-			opts := []mtvec.SessionOption{mtvec.WithJobs(1)}
-			if !batching {
-				opts = append(opts, mtvec.WithoutBatching())
-			}
-			ses := mtvec.NewSession(opts...)
 			specs := make([]mtvec.RunSpec, 8)
 			for k := range specs {
 				specs[k] = mtvec.CompiledRun(sweepKernel, sweepSched, mtvec.WithMemLatency(30+10*k))
 			}
-			reps, err := ses.RunAll(ctx, specs...)
-			if err != nil {
-				return 0, err
-			}
-			var cycles int64
-			for _, rep := range reps {
-				cycles += rep.Cycles
-			}
-			return cycles, nil
+			return runSweep(specs, batching)
 		}
 	}
 	cases = append(cases,
 		benchCase{name: "sweep/batch8", fn: sweep(true)},
 		benchCase{name: "sweep/perpoint", fn: sweep(false)},
+	)
+
+	// Long-vector sweep: the gemm and spmv bench-suite supplies are
+	// simulation-dominated (high cycles per instruction), the regime the
+	// adaptive model shapes narrow-but-parallel — the opposite corner
+	// from the scalar-heavy daxpy-setup sweep above. Two provenance
+	// groups of four latency points each.
+	var gemmW, spmvW *mtvec.Workload
+	for i, spec := range mtvec.BenchWorkloads() {
+		switch spec.Short {
+		case "gm":
+			gemmW = bench[i]
+		case "sp":
+			spmvW = bench[i]
+		}
+	}
+	if gemmW == nil || spmvW == nil {
+		return nil, fmt.Errorf("bench suite is missing the gemm or spmv workload")
+	}
+	longvec := func(batching bool) func() (int64, error) {
+		return func() (int64, error) {
+			var specs []mtvec.RunSpec
+			for _, w := range []*mtvec.Workload{gemmW, spmvW} {
+				for k := 0; k < 4; k++ {
+					specs = append(specs, mtvec.Solo(w, mtvec.WithMemLatency(30+30*k)))
+				}
+			}
+			return runSweep(specs, batching)
+		}
+	}
+	cases = append(cases,
+		benchCase{name: "sweep/longvec-batch", fn: longvec(true)},
+		benchCase{name: "sweep/longvec-perpoint", fn: longvec(false)},
 	)
 	return cases, nil
 }
@@ -286,12 +330,15 @@ func measure(c benchCase, benchtime time.Duration) (BenchResult, error) {
 }
 
 // runBenchJSON measures the suite and writes the artifact to w.
-func runBenchJSON(w io.Writer, ref string, benchtime time.Duration, count int, progress io.Writer) error {
+func runBenchJSON(w io.Writer, ref string, benchtime time.Duration, count, jobs int, progress io.Writer) error {
 	scale, err := mtvec.BenchScale()
 	if err != nil {
 		return err
 	}
-	cases, err := benchCases(scale)
+	if jobs < 1 {
+		jobs = runtime.NumCPU()
+	}
+	cases, err := benchCases(scale, jobs)
 	if err != nil {
 		return err
 	}
@@ -307,6 +354,7 @@ func runBenchJSON(w io.Writer, ref string, benchtime time.Duration, count int, p
 		Scale:       scale,
 		BenchtimeMS: benchtime.Milliseconds(),
 		Count:       count,
+		Jobs:        jobs,
 	}
 	for _, c := range cases {
 		best := BenchResult{}
@@ -338,6 +386,14 @@ type CompareFile struct {
 	GeomeanRatio float64 `json:"geomean_ratio"` // new/old ns per op; <1 is faster
 	MaxRegress   float64 `json:"max_regress"`
 
+	// The allocation gate, alongside the time gate: geomean new/old
+	// B/op over the benchmarks where both artifacts recorded a positive
+	// byte count (a legitimate zero cannot enter a geometric mean).
+	// Zero when no benchmark qualified — the bytes gate then passes
+	// vacuously rather than failing a comparison ns/op already covers.
+	GeomeanBytesRatio float64 `json:"geomean_bytes_ratio,omitempty"`
+	MaxRegressBytes   float64 `json:"max_regress_bytes"`
+
 	// Dropped lists benchmarks excluded from the geomean, with the
 	// reason: present in only one artifact, or a non-positive/non-finite
 	// ns/op that would poison the ratio. The gate compares the
@@ -347,13 +403,18 @@ type CompareFile struct {
 	Benchmarks []CompareResult `json:"benchmarks"`
 }
 
-// CompareResult is one benchmark's old-vs-new ns/op comparison.
+// CompareResult is one benchmark's old-vs-new comparison.
 type CompareResult struct {
 	Name    string  `json:"name"`
 	OldNs   float64 `json:"old_ns_per_op"`
 	NewNs   float64 `json:"new_ns_per_op"`
 	Ratio   float64 `json:"ratio"`   // new/old
 	Speedup float64 `json:"speedup"` // old/new
+	// Bytes per op on each side; BytesRatio is 0 (not in the bytes
+	// geomean) unless both sides are positive.
+	OldBytes   int64   `json:"old_bytes_per_op,omitempty"`
+	NewBytes   int64   `json:"new_bytes_per_op,omitempty"`
+	BytesRatio float64 `json:"bytes_ratio,omitempty"`
 }
 
 func loadBenchFile(path string) (*BenchFile, error) {
@@ -385,7 +446,7 @@ func usableNs(ns float64) bool {
 // artifact, or carrying unusable ns/op values, are excluded from the
 // geomean and reported by name in Dropped — a mismatched set narrows
 // the comparison, visibly, instead of skewing or crashing it.
-func compareBench(oldPath, newPath string, maxRegress float64) (*CompareFile, error) {
+func compareBench(oldPath, newPath string, maxRegress, maxRegressBytes float64) (*CompareFile, error) {
 	oldF, err := loadBenchFile(oldPath)
 	if err != nil {
 		return nil, err
@@ -399,13 +460,15 @@ func compareBench(oldPath, newPath string, maxRegress float64) (*CompareFile, er
 		oldBy[b.Name] = b
 	}
 	cmp := &CompareFile{
-		Schema:      benchSchema,
-		BaselineRef: oldF.Ref,
-		NewRef:      newF.Ref,
-		MaxRegress:  maxRegress,
+		Schema:          benchSchema,
+		BaselineRef:     oldF.Ref,
+		NewRef:          newF.Ref,
+		MaxRegress:      maxRegress,
+		MaxRegressBytes: maxRegressBytes,
 	}
 	newNames := make(map[string]bool, len(newF.Benchmarks))
-	var logSum float64
+	var logSum, bytesLogSum float64
+	var bytesN int
 	for _, nb := range newF.Benchmarks {
 		newNames[nb.Name] = true
 		ob, ok := oldBy[nb.Name]
@@ -418,10 +481,17 @@ func compareBench(oldPath, newPath string, maxRegress float64) (*CompareFile, er
 			continue
 		}
 		ratio := nb.NsPerOp / ob.NsPerOp
-		cmp.Benchmarks = append(cmp.Benchmarks, CompareResult{
+		res := CompareResult{
 			Name: nb.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
 			Ratio: ratio, Speedup: 1 / ratio,
-		})
+			OldBytes: ob.BytesPerOp, NewBytes: nb.BytesPerOp,
+		}
+		if ob.BytesPerOp > 0 && nb.BytesPerOp > 0 {
+			res.BytesRatio = float64(nb.BytesPerOp) / float64(ob.BytesPerOp)
+			bytesLogSum += math.Log(res.BytesRatio)
+			bytesN++
+		}
+		cmp.Benchmarks = append(cmp.Benchmarks, res)
 		logSum += math.Log(ratio)
 	}
 	for _, ob := range oldF.Benchmarks {
@@ -435,24 +505,31 @@ func compareBench(oldPath, newPath string, maxRegress float64) (*CompareFile, er
 	}
 	sort.Slice(cmp.Benchmarks, func(i, j int) bool { return cmp.Benchmarks[i].Name < cmp.Benchmarks[j].Name })
 	cmp.GeomeanRatio = math.Exp(logSum / float64(len(cmp.Benchmarks)))
+	if bytesN > 0 {
+		cmp.GeomeanBytesRatio = math.Exp(bytesLogSum / float64(bytesN))
+	}
 	return cmp, nil
 }
 
-// runBenchCompare prints the comparison table and applies the gate.
-func runBenchCompare(w io.Writer, oldPath, newPath, outPath string, maxRegress float64) error {
-	cmp, err := compareBench(oldPath, newPath, maxRegress)
+// runBenchCompare prints the comparison table and applies the ns/op and
+// B/op gates.
+func runBenchCompare(w io.Writer, oldPath, newPath, outPath string, maxRegress, maxRegressBytes float64) error {
+	cmp, err := compareBench(oldPath, newPath, maxRegress, maxRegressBytes)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-18s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	fmt.Fprintf(w, "%-22s %14s %14s %9s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "old B/op", "new B/op")
 	for _, b := range cmp.Benchmarks {
-		fmt.Fprintf(w, "%-18s %14.0f %14.0f %8.2fx\n", b.Name, b.OldNs, b.NewNs, b.Speedup)
+		fmt.Fprintf(w, "%-22s %14.0f %14.0f %8.2fx %12d %12d\n", b.Name, b.OldNs, b.NewNs, b.Speedup, b.OldBytes, b.NewBytes)
 	}
 	for _, d := range cmp.Dropped {
 		fmt.Fprintf(w, "dropped: %s\n", d)
 	}
 	fmt.Fprintf(w, "\ngeomean over %d benchmark(s): %.3fx speedup (ratio %.3f, gate: ratio <= %.3f)\n",
 		len(cmp.Benchmarks), 1/cmp.GeomeanRatio, cmp.GeomeanRatio, 1+maxRegress)
+	if cmp.GeomeanBytesRatio > 0 {
+		fmt.Fprintf(w, "geomean B/op ratio: %.3f (gate: ratio <= %.3f)\n", cmp.GeomeanBytesRatio, 1+maxRegressBytes)
+	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(cmp, "", "  ")
 		if err != nil {
@@ -465,6 +542,10 @@ func runBenchCompare(w io.Writer, oldPath, newPath, outPath string, maxRegress f
 	if cmp.GeomeanRatio > 1+maxRegress {
 		return fmt.Errorf("benchmark regression: geomean ns/op ratio %.3f exceeds gate %.3f (baseline %s)",
 			cmp.GeomeanRatio, 1+maxRegress, oldPath)
+	}
+	if cmp.GeomeanBytesRatio > 1+maxRegressBytes {
+		return fmt.Errorf("allocation regression: geomean B/op ratio %.3f exceeds gate %.3f (baseline %s)",
+			cmp.GeomeanBytesRatio, 1+maxRegressBytes, oldPath)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -35,7 +36,7 @@ func TestBenchCompareGate(t *testing.T) {
 	fast := writeBenchFile(t, dir, "fast.json", "fast", map[string]float64{"a": 50, "b": 100})
 	slow := writeBenchFile(t, dir, "slow.json", "slow", map[string]float64{"a": 150, "b": 300})
 
-	cmp, err := compareBench(oldP, fast, 0.10)
+	cmp, err := compareBench(oldP, fast, 0.10, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestBenchCompareGate(t *testing.T) {
 		t.Errorf("geomean ratio = %v, want 0.5", cmp.GeomeanRatio)
 	}
 	var buf bytes.Buffer
-	if err := runBenchCompare(&buf, oldP, fast, "", 0.10); err != nil {
+	if err := runBenchCompare(&buf, oldP, fast, "", 0.10, 0.10); err != nil {
 		t.Errorf("2x speedup failed the gate: %v", err)
 	}
 	if !strings.Contains(buf.String(), "2.00x") {
@@ -53,7 +54,7 @@ func TestBenchCompareGate(t *testing.T) {
 	// A 50% regression must fail a 10% gate and still write -o.
 	out := filepath.Join(dir, "cmp.json")
 	buf.Reset()
-	err = runBenchCompare(&buf, oldP, slow, out, 0.10)
+	err = runBenchCompare(&buf, oldP, slow, out, 0.10, 0.10)
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Errorf("regression passed the gate: %v", err)
 	}
@@ -81,7 +82,7 @@ func TestBenchCompareIntersection(t *testing.T) {
 	newP := writeBenchFile(t, dir, "new.json", "new", map[string]float64{
 		"a": 100, "b": 200, "added": 30, "zero": 50, "neg": -5,
 	})
-	cmp, err := compareBench(oldP, newP, 0.10)
+	cmp, err := compareBench(oldP, newP, 0.10, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestBenchCompareIntersection(t *testing.T) {
 	}
 	// The rendered table reports them too, and the gate still applies.
 	var buf bytes.Buffer
-	if err := runBenchCompare(&buf, oldP, newP, "", 0.10); err != nil {
+	if err := runBenchCompare(&buf, oldP, newP, "", 0.10, 0.10); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "dropped: gone (missing from") {
@@ -117,19 +118,81 @@ func TestBenchCompareIntersection(t *testing.T) {
 	allBad := writeBenchFile(t, dir, "bad.json", "bad", map[string]float64{
 		"a": 0, "b": -5,
 	})
-	if _, err := compareBench(oldP, allBad, 0.10); err == nil || !strings.Contains(err.Error(), "no common") {
+	if _, err := compareBench(oldP, allBad, 0.10, 0.10); err == nil || !strings.Contains(err.Error(), "no common") {
 		t.Errorf("all-unusable artifact: err = %v", err)
+	}
+}
+
+// writeBenchResults writes an artifact with explicit BenchResults, for
+// tests that need B/op alongside ns/op.
+func writeBenchResults(t *testing.T, dir, name, ref string, results []BenchResult) string {
+	t.Helper()
+	f := BenchFile{Schema: benchSchema, Ref: ref, Scale: 3e-5, Count: 1, Benchmarks: results}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchCompareBytesGate: the B/op geomean gates independently of
+// ns/op, over only the benchmarks where both artifacts recorded
+// positive byte counts.
+func TestBenchCompareBytesGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBenchResults(t, dir, "old.json", "old", []BenchResult{
+		{Name: "a", Iters: 1, NsPerOp: 100, BytesPerOp: 1000},
+		{Name: "b", Iters: 1, NsPerOp: 100, BytesPerOp: 0}, // legit zero: not in bytes geomean
+	})
+	// Faster but allocating 4x: passes the ns gate, fails the bytes gate.
+	hungry := writeBenchResults(t, dir, "hungry.json", "hungry", []BenchResult{
+		{Name: "a", Iters: 1, NsPerOp: 50, BytesPerOp: 4000},
+		{Name: "b", Iters: 1, NsPerOp: 50, BytesPerOp: 0},
+	})
+	cmp, err := compareBench(oldP, hungry, 0.10, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmp.GeomeanBytesRatio-4.0) > 1e-9 {
+		t.Errorf("bytes geomean = %v, want 4.0 over the single positive pair", cmp.GeomeanBytesRatio)
+	}
+	var buf bytes.Buffer
+	err = runBenchCompare(&buf, oldP, hungry, "", 0.10, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "allocation regression") {
+		t.Errorf("4x B/op passed the bytes gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "geomean B/op ratio") {
+		t.Errorf("bytes geomean not rendered:\n%s", buf.String())
+	}
+
+	// No positive pairs at all: the bytes gate passes vacuously (ns/op
+	// still judges) and the recorded ratio stays zero.
+	lean := writeBenchResults(t, dir, "lean.json", "lean", []BenchResult{
+		{Name: "b", Iters: 1, NsPerOp: 100, BytesPerOp: 0},
+	})
+	buf.Reset()
+	if err := runBenchCompare(&buf, oldP, lean, "", 0.10, 0.10); err != nil {
+		t.Errorf("bytes-free comparison failed: %v", err)
+	}
+
+	// A raised bytes allowance admits what the default rejects.
+	if err := runBenchCompare(io.Discard, oldP, hungry, "", 0.10, 5.0); err != nil {
+		t.Errorf("4x B/op failed a 5.0 bytes gate: %v", err)
 	}
 }
 
 func TestBenchCompareErrors(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeBenchFile(t, dir, "old.json", "old", map[string]float64{"a": 100})
-	if _, err := compareBench(oldP, filepath.Join(dir, "missing.json"), 0.1); err == nil {
+	if _, err := compareBench(oldP, filepath.Join(dir, "missing.json"), 0.1, 0.1); err == nil {
 		t.Error("missing file accepted")
 	}
 	other := writeBenchFile(t, dir, "other.json", "x", map[string]float64{"z": 1})
-	if _, err := compareBench(oldP, other, 0.1); err == nil || !strings.Contains(err.Error(), "no common") {
+	if _, err := compareBench(oldP, other, 0.1, 0.1); err == nil || !strings.Contains(err.Error(), "no common") {
 		t.Errorf("disjoint benchmark sets: err = %v", err)
 	}
 	bad := filepath.Join(dir, "bad.json")
@@ -145,7 +208,7 @@ func TestBenchJSONSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measures wall time")
 	}
-	cases, err := benchCases(1e-5)
+	cases, err := benchCases(1e-5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,13 +51,17 @@ func main() {
 		golden   = flag.Bool("golden", false, "emit the byte-exact full-suite output (docs/GOLDEN.txt) and exit")
 		benchdoc = flag.Bool("benchdoc", false, "emit the generated section of docs/BENCHMARKS.md and exit")
 
-		benchJSON    = flag.Bool("bench-json", false, "measure the benchmark suite and emit a BENCH JSON artifact")
-		benchOut     = flag.String("o", "", "output file for -bench-json / -bench-compare (default stdout / none)")
-		benchRef     = flag.String("bench-ref", "local", "ref label recorded in the -bench-json artifact")
-		benchTime    = flag.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per benchmark (-bench-json)")
-		benchCount   = flag.Int("bench-count", 3, "samples per benchmark, fastest wins (-bench-json)")
-		benchCompare = flag.Bool("bench-compare", false, "compare two BENCH JSON files: mtvbench -bench-compare OLD NEW")
-		maxRegress   = flag.Float64("max-regress", 0.10, "fail -bench-compare when geomean ns/op regresses more than this fraction")
+		benchJSON       = flag.Bool("bench-json", false, "measure the benchmark suite and emit a BENCH JSON artifact")
+		benchOut        = flag.String("o", "", "output file for -bench-json / -bench-compare (default stdout / none)")
+		benchRef        = flag.String("bench-ref", "local", "ref label recorded in the -bench-json artifact")
+		benchTime       = flag.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per benchmark (-bench-json)")
+		benchCount      = flag.Int("bench-count", 3, "samples per benchmark, fastest wins (-bench-json)")
+		benchJobs       = flag.Int("bench-jobs", runtime.NumCPU(), "session gate width for the sweep benchmark cases (-bench-json)")
+		benchCompare    = flag.Bool("bench-compare", false, "compare two BENCH JSON files: mtvbench -bench-compare OLD NEW")
+		maxRegress      = flag.Float64("max-regress", 0.10, "fail -bench-compare when geomean ns/op regresses more than this fraction")
+		maxRegressBytes = flag.Float64("max-regress-bytes", 0.10, "fail -bench-compare when geomean B/op regresses more than this fraction")
+		cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile of the -bench-json run to this file")
+		memprofile      = flag.String("memprofile", "", "write an allocation profile of the -bench-json run to this file")
 	)
 	flag.Parse()
 
@@ -103,7 +108,16 @@ func main() {
 		if !*quiet {
 			progress = os.Stderr
 		}
-		if err := runBenchJSON(out, *benchRef, *benchTime, *benchCount, progress); err != nil {
+		stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtvbench:", err)
+			os.Exit(1)
+		}
+		err = runBenchJSON(out, *benchRef, *benchTime, *benchCount, *benchJobs, progress)
+		if perr := stopProfiles(); err == nil {
+			err = perr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mtvbench:", err)
 			os.Exit(1)
 		}
@@ -114,7 +128,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mtvbench: -bench-compare needs exactly two files: OLD NEW")
 			os.Exit(2)
 		}
-		if err := runBenchCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *benchOut, *maxRegress); err != nil {
+		if err := runBenchCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *benchOut, *maxRegress, *maxRegressBytes); err != nil {
 			fmt.Fprintln(os.Stderr, "mtvbench:", err)
 			os.Exit(1)
 		}
@@ -139,6 +153,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtvbench:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges the allocation
+// profile (either may be ""); the returned stop writes and closes them.
+// Profiling the bench run itself is the documented workflow for hunting
+// sweep-path regressions (docs/PERF.md, "Profiling the sweep path").
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(ctx context.Context, w io.Writer, expID string, scale float64, format string, jobs int, quiet bool, storeDir string) error {

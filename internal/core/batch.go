@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"mtvec/internal/stats"
 )
@@ -22,6 +23,7 @@ type batchSlab struct {
 	ctxs  []hwContext
 	vregs []vregState
 	banks []bankState
+	wins  []portWindow
 }
 
 func (s *batchSlab) takeCtxs(n int) []hwContext {
@@ -42,6 +44,12 @@ func (s *batchSlab) takeBanks(n int) []bankState {
 	return out
 }
 
+func (s *batchSlab) takeWins(n int) []portWindow {
+	out := s.wins[:n:n]
+	s.wins = s.wins[n:]
+	return out
+}
+
 // Batch advances N independently configured machines ("lanes") in
 // lockstep windows over their instruction streams. Lanes share no
 // mutable state — each is a complete Machine with its own clock,
@@ -59,7 +67,19 @@ func (s *batchSlab) takeBanks(n int) []bankState {
 type Batch struct {
 	lanes  []*Machine
 	window int64
+	par    int      // max goroutines advancing lanes per round (1 = sequential)
+	slots  SlotPool // optional limiter the extra goroutines borrow slots from
 	ran    bool
+}
+
+// SlotPool is a concurrency limiter a Batch can borrow extra slots
+// from. TryAcquire claims up to max free slots without blocking and
+// returns how many it got; Release returns them. *runner.Gate satisfies
+// it. The caller's own admission (the slot it entered the batch under)
+// is implicit and never released by the batch.
+type SlotPool interface {
+	TryAcquire(max int) int
+	Release(n int)
 }
 
 // NewBatch builds one machine per config, allocating all lanes' mutable
@@ -85,6 +105,7 @@ func NewBatch(cfgs []Config) (*Batch, error) {
 	slab.ctxs = make([]hwContext, nctx)
 	slab.vregs = make([]vregState, nvregs)
 	slab.banks = make([]bankState, nbanks)
+	slab.wins = make([]portWindow, 2*bankWinReserve*nbanks)
 	b := &Batch{lanes: make([]*Machine, len(cfgs)), window: DefaultBatchWindow}
 	for i := range cfgs {
 		m, err := newMachine(cfgs[i], &slab)
@@ -111,6 +132,26 @@ func (b *Batch) SetWindow(n int64) {
 		b.window = n
 	}
 }
+
+// SetParallel allows up to n goroutines to advance live lanes within
+// one lockstep round; n <= 1 (the default) keeps the sequential walk.
+// Lanes are independent machines sharing only immutable inputs, so the
+// setting never affects results — each lane's Report is the same
+// whichever goroutine advances it.
+func (b *Batch) SetParallel(n int) {
+	if n > 1 {
+		b.par = n
+	} else {
+		b.par = 1
+	}
+}
+
+// SetSlots attaches a concurrency limiter the parallel rounds cooperate
+// with: each round runs on 1 + TryAcquire(min(par, live)-1) goroutines,
+// so the batch widens across idle capacity and narrows back as lanes
+// retire or the pool fills. Without a pool (the default), SetParallel
+// alone bounds the round width. Results never depend on the pool.
+func (b *Batch) SetSlots(p SlotPool) { b.slots = p }
 
 // Run advances all lanes to completion and returns the per-lane reports
 // and errors (both always len Lanes(); exactly one of reps[i], errs[i]
@@ -159,6 +200,10 @@ func (b *Batch) RunContext(ctx context.Context, stops []Stop) ([]*stats.Report, 
 		active[i] = true
 		live++
 	}
+	if b.par > 1 && live > 1 {
+		b.runRounds(ctx, stops, reps, errs, active, live)
+		return reps, errs
+	}
 	for target := b.window; live > 0; target += b.window {
 		for i := range b.lanes {
 			if !active[i] {
@@ -178,4 +223,93 @@ func (b *Batch) RunContext(ctx context.Context, stops []Stop) ([]*stats.Report, 
 		}
 	}
 	return reps, errs
+}
+
+// runRounds is the parallel round loop: each lockstep round, up to
+// min(par, live) goroutines claim live lanes off a shared cursor and
+// advance them to the round target. A lane is touched by exactly one
+// goroutine per round (the atomic cursor hands out each index once),
+// and the round barrier orders one round's writes before the next
+// round's reads, so the loop is data-race free without per-lane locks.
+// With a SlotPool attached, the extra goroutines (beyond the caller,
+// who participates on its own admission) each occupy one borrowed slot;
+// the batch re-sizes its claim every round as lanes retire and returns
+// everything on exit.
+func (b *Batch) runRounds(ctx context.Context, stops []Stop, reps []*stats.Report, errs []error, active []bool, live int) {
+	var (
+		cursor  atomic.Int64 // next lane index to claim this round
+		retired atomic.Int64 // lanes finished or failed this round
+		target  int64        // current round's dispatched-instruction target
+	)
+	round := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(b.lanes) {
+				return
+			}
+			if !active[i] {
+				continue
+			}
+			finished, err := b.lanes[i].runLoop(ctx, stops[i], target)
+			if err != nil {
+				errs[i], active[i] = err, false
+				retired.Add(1)
+				continue
+			}
+			if finished {
+				reps[i], errs[i] = b.lanes[i].finish(stops[i])
+				active[i] = false
+				retired.Add(1)
+			}
+		}
+	}
+
+	// Persistent helper goroutines, spawned lazily up to the widest round
+	// ever needed: a round wakes `extra` of them, runs the caller's share
+	// inline, then joins. done is buffered so a helper never blocks
+	// publishing its round completion.
+	start := make(chan struct{})
+	done := make(chan struct{}, b.par)
+	helper := func() {
+		for range start {
+			round()
+			done <- struct{}{}
+		}
+	}
+	spawned, held := 0, 0
+	defer func() {
+		close(start)
+		if b.slots != nil && held > 0 {
+			b.slots.Release(held)
+		}
+	}()
+
+	for target = b.window; live > 0; target += b.window {
+		extra := min(b.par, live) - 1
+		if b.slots != nil {
+			// Hold exactly as many borrowed slots as helpers we can use:
+			// shrink as lanes retire, top up when the pool has room.
+			if held > extra {
+				b.slots.Release(held - extra)
+				held = extra
+			} else if held < extra {
+				held += b.slots.TryAcquire(extra - held)
+			}
+			extra = held
+		}
+		for spawned < extra {
+			go helper()
+			spawned++
+		}
+		cursor.Store(0)
+		retired.Store(0)
+		for k := 0; k < extra; k++ {
+			start <- struct{}{}
+		}
+		round()
+		for k := 0; k < extra; k++ {
+			<-done
+		}
+		live -= int(retired.Load())
+	}
 }

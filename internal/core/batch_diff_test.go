@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"mtvec/internal/arch"
@@ -228,6 +229,118 @@ func TestBatchDifferential(t *testing.T) {
 			}
 			if !reflect.DeepEqual(logs[i], solo[i].log) {
 				t.Errorf("%s: lane event stream differs from solo:\nlane: %+v\nsolo: %+v", pt.name, logs[i], solo[i].log)
+			}
+		}
+	}
+}
+
+// testSlotPool is a balance-checked SlotPool: TryAcquire hands out at
+// most its capacity, Release returns slots, and the test asserts every
+// claimed slot came back.
+type testSlotPool struct {
+	mu   sync.Mutex
+	free int
+	out  int
+	over bool // a release exceeded the claims
+}
+
+func (p *testSlotPool) TryAcquire(max int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := max
+	if n > p.free {
+		n = p.free
+	}
+	if n < 0 {
+		n = 0
+	}
+	p.free -= n
+	p.out += n
+	return n
+}
+
+func (p *testSlotPool) Release(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.out -= n
+	p.free += n
+	if p.out < 0 {
+		p.over = true
+	}
+}
+
+// TestBatchDifferentialParallel proves parallel rounds ≡ sequential
+// rounds ≡ solo across randomized batch shapes: lane width 2–12, window
+// 64–8192, parallelism 2–8, with and without a borrowed slot pool
+// (including a zero-capacity pool, which must degrade to the caller's
+// own goroutine). Run under -race, this is also the data-race proof for
+// the round loop.
+func TestBatchDifferentialParallel(t *testing.T) {
+	const chunks = 18
+	seed := int64(5000)
+	shape := rand.New(rand.NewSource(41))
+	for c := 0; c < chunks; c++ {
+		width := 2 + shape.Intn(11)
+		window := int64(64 << shape.Intn(8)) // 64..8192
+		par := 2 + shape.Intn(7)
+		var pool *testSlotPool
+		if shape.Intn(3) > 0 {
+			pool = &testSlotPool{free: shape.Intn(par + 2)}
+		}
+		points := make([]diffPoint, width)
+		solo := make([]soloResult, width)
+		cfgs := make([]Config, width)
+		stops := make([]Stop, width)
+		logs := make([]*eventLog, width)
+		for i := range points {
+			points[i] = randPoint(seed)
+			seed++
+			solo[i] = runSolo(t, points[i])
+			cfgs[i] = points[i].cfg
+			logs[i] = &eventLog{}
+			cfgs[i].Observers = []Observer{logs[i]}
+			stops[i] = points[i].stop
+		}
+		b, err := NewBatch(cfgs)
+		if err != nil {
+			t.Fatalf("chunk %d: NewBatch: %v", c, err)
+		}
+		b.SetWindow(window)
+		b.SetParallel(par)
+		if pool != nil {
+			b.SetSlots(pool)
+		}
+		for i := range points {
+			if err := points[i].attach(b.Machine(i)); err != nil {
+				t.Fatalf("%s: batch attach: %v", points[i].name, err)
+			}
+		}
+		reps, errs := b.Run(stops)
+		if pool != nil {
+			pool.mu.Lock()
+			out, over := pool.out, pool.over
+			pool.mu.Unlock()
+			if out != 0 || over {
+				t.Fatalf("chunk %d: slot pool imbalance: %d outstanding (over-release: %v)", c, out, over)
+			}
+		}
+		for i := range points {
+			pt := points[i]
+			if (errs[i] == nil) != (solo[i].err == nil) {
+				t.Fatalf("%s (w%d win%d par%d): lane err = %v, solo err = %v", pt.name, width, window, par, errs[i], solo[i].err)
+			}
+			if errs[i] != nil {
+				if errs[i].Error() != solo[i].err.Error() {
+					t.Errorf("%s: lane err %q != solo err %q", pt.name, errs[i], solo[i].err)
+				}
+				continue
+			}
+			if got := fmt.Sprintf("%#v", *reps[i]); got != solo[i].rendered {
+				t.Errorf("%s (w%d win%d par%d): parallel lane report differs from solo:\nlane: %s\nsolo: %s",
+					pt.name, width, window, par, got, solo[i].rendered)
+			}
+			if !reflect.DeepEqual(logs[i], solo[i].log) {
+				t.Errorf("%s (w%d win%d par%d): parallel lane event stream differs from solo", pt.name, width, window, par)
 			}
 		}
 	}

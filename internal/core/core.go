@@ -248,6 +248,7 @@ func newMachine(cfg Config, slab *batchSlab) (*Machine, error) {
 	// (or one policy value) across concurrent runs safe by construction.
 	cfg.Policy = cfg.Policy.Clone()
 	m := &Machine{cfg: cfg, lat: cfg.Lat, mem: mem, cur: -1, lastDisp: -1}
+	m.tl.AcquireBacking()
 	_, m.unfair = cfg.Policy.(sched.Unfair)
 	m.dual = cfg.DualScalar
 	m.bookSeq = 1
@@ -291,15 +292,29 @@ func newMachine(cfg Config, slab *batchSlab) (*Machine, error) {
 	var (
 		vregs []vregState
 		banks []bankState
+		wins  []portWindow
 	)
 	if slab != nil {
 		m.ctxs = slab.takeCtxs(cfg.Contexts)
 		vregs = slab.takeVRegs(cfg.Contexts * der.CtxVRegs)
 		banks = slab.takeBanks(cfg.Contexts * der.NumBanks)
+		wins = slab.takeWins(2 * bankWinReserve * cfg.Contexts * der.NumBanks)
 	} else {
 		m.ctxs = make([]hwContext, cfg.Contexts)
 		vregs = make([]vregState, cfg.Contexts*der.CtxVRegs)
 		banks = make([]bankState, cfg.Contexts*der.NumBanks)
+		wins = make([]portWindow, 2*bankWinReserve*cfg.Contexts*der.NumBanks)
+	}
+	// Seed every bank's port-window lists with a slab-backed reserve:
+	// pruning keeps live windows to a few in-flight instructions, so
+	// bankWinReserve covers the steady state and only a genuinely deep
+	// window list spills to an append-grown heap slice. The chunks are
+	// capacity-capped and disjoint, so lanes sharing one slab never
+	// alias each other's windows.
+	for i := range banks {
+		o := 2 * bankWinReserve * i
+		banks[i].reads = wins[o : o : o+bankWinReserve]
+		banks[i].writes = wins[o+bankWinReserve : o+bankWinReserve : o+2*bankWinReserve]
 	}
 	for i := range m.ctxs {
 		c := &m.ctxs[i]
@@ -741,9 +756,11 @@ func (m *Machine) report(stop Stop) *stats.Report {
 		}
 	}
 
+	breakdown := m.tl.Sweep(cycles)
+	m.tl.ReleaseBacking() // report runs once; the timeline is dead now
 	rep := &stats.Report{
 		Cycles:         cycles,
-		Breakdown:      m.tl.Sweep(cycles),
+		Breakdown:      breakdown,
 		MemBusyCycles:  m.mem.BusyCycles(),
 		MemRequests:    m.mem.Requests(),
 		MemPorts:       m.mem.Ports(),

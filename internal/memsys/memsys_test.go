@@ -112,6 +112,73 @@ func TestBankConflictEdgeCases(t *testing.T) {
 	}
 }
 
+// TestGatherShortRowShapes pins the access shapes sparse kernels
+// produce — indexed gathers (stride 0 by the model's convention) and
+// short rows (tiny n, the CSR row-by-row pattern) — under every memory
+// model: flat, banked, and worst-case banked.
+func TestGatherShortRowShapes(t *testing.T) {
+	systems := map[string]*System{
+		"flat":         mustNew(t, Config{Latency: 40, GeneralPorts: 1}),
+		"banked":       mustNew(t, Config{Latency: 40, GeneralPorts: 1, Banks: 16, BankBusy: 4}),
+		"banked-worst": mustNew(t, Config{Latency: 40, GeneralPorts: 1, Banks: 2, BankBusy: 8}),
+	}
+	for name, s := range systems {
+		// Gathers run at one element per cycle regardless of banking:
+		// the model assumes indexed streams spread across banks.
+		if _, _, busy := s.ScheduleVector(0, 128, 0, true); busy != 128 {
+			t.Errorf("%s: gather busy = %d, want 128", name, busy)
+		}
+		// A negative-stride access (backwards row walk) conflicts
+		// exactly like its positive mirror.
+		_, _, fwd := s.ScheduleVector(0, 32, 16, true)
+		_, _, bwd := s.ScheduleVector(0, 32, -16, true)
+		if fwd != bwd {
+			t.Errorf("%s: stride sign changes busy: +16 -> %d, -16 -> %d", name, fwd, bwd)
+		}
+	}
+
+	// Short rows: port occupancy is exactly n*factor even at n=1, and
+	// back-to-back rows queue with no gaps and no overlap — the port
+	// timeline of a CSR sweep is the sum of its rows.
+	s := mustNew(t, Config{Latency: 40, GeneralPorts: 1, Banks: 8, BankBusy: 4})
+	var prevEnd Cycle
+	for i, n := range []int{1, 2, 3, 1, 5, 1} {
+		start, first, busy := s.ScheduleVector(0, n, 0, true)
+		if busy != int64(n) {
+			t.Fatalf("row %d: busy = %d, want %d", i, busy, n)
+		}
+		if start != prevEnd {
+			t.Fatalf("row %d: start = %d, want previous end %d", i, start, prevEnd)
+		}
+		if first != start+40 {
+			t.Fatalf("row %d: first datum = %d, want %d", i, first, start+40)
+		}
+		prevEnd = start + busy
+	}
+	if s.BusyCycles() != prevEnd {
+		t.Errorf("busy cycles = %d, want %d (gapless short rows)", s.BusyCycles(), prevEnd)
+	}
+
+	// A zero-length row (empty CSR row) books nothing: the port frees
+	// instantly and the next access is unaffected.
+	empty := mustNew(t, Config{Latency: 40, GeneralPorts: 1})
+	if _, _, busy := empty.ScheduleVector(0, 0, 8, true); busy != 0 {
+		t.Errorf("empty row busy = %d, want 0", busy)
+	}
+	if start, _, _ := empty.ScheduleVector(0, 4, 8, true); start != 0 {
+		t.Errorf("access after empty row starts at %d, want 0", start)
+	}
+
+	// Probe/Schedule agreement on the gather shape: probing must not
+	// book, and the probed schedule must be what booking then returns.
+	pr := mustNew(t, Config{Latency: 40, GeneralPorts: 1, Banks: 16, BankBusy: 4})
+	ps, pf, pb := pr.ProbeVector(5, 7, 0, true)
+	gs, gf, gb := pr.ScheduleVector(5, 7, 0, true)
+	if ps != gs || pf != gf || pb != gb {
+		t.Errorf("probe (%d,%d,%d) != schedule (%d,%d,%d)", ps, pf, pb, gs, gf, gb)
+	}
+}
+
 func TestVectorLoadTiming(t *testing.T) {
 	s := mustNew(t, Config{Latency: 50, GeneralPorts: 1})
 	start, first, busy := s.ScheduleVector(10, 64, 8, true)

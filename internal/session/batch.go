@@ -2,34 +2,77 @@ package session
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"mtvec/internal/core"
 	"mtvec/internal/runner"
 	"mtvec/internal/stats"
+	"mtvec/internal/store"
 )
 
 // Lockstep batching: RunAll groups memo-and-store-missed points that
 // share one instruction supply (same workloads, same compiled kernel
-// and schedule — see RunSpec.provenanceKey) into core.Batch lanes of up
-// to maxBatchLanes, so a machine-parameter sweep walks its shared
-// predecoded trace once per window instead of once per point. Batching
-// is a scheduling detail, never a semantic one: each lane is a complete
-// independent Machine, so per-lane Reports are byte-identical to solo
-// runs (proved by internal/core's differential harness), and every
-// point still resolves through the same memo singleflight, so callers
-// outside RunAll share results exactly as before.
+// and schedule — see RunSpec.provenanceKey) into core.Batch lanes, so a
+// machine-parameter sweep walks its shared predecoded trace once per
+// window instead of once per point, and advances its lanes on parallel
+// goroutines borrowed from the session gate. Batching is a scheduling
+// detail, never a semantic one: each lane is a complete independent
+// Machine, so per-lane Reports are byte-identical to solo runs (proved
+// by internal/core's differential harness), and every point still
+// resolves through the same memo singleflight, so callers outside
+// RunAll share results exactly as before.
 //
 // Batching is bypassed per point when it could change semantics or
 // cannot help: observer-carrying specs (never memoized), memo-less
 // sessions, provenance groups with a single distinct point, and
 // sessions with SetBatching(false).
+//
+// # Adaptive batch shaping
+//
+// How many lanes one batch carries (its width) and how far each lane
+// advances per lockstep round (its window) are sized per provenance
+// group by a cost model instead of fixed constants. The inputs:
+//
+//   - Simulated cycles per instruction. Scalar-heavy supplies (~1
+//     cycle/inst) are decode-dominated: the shared trace walk is most
+//     of the run, so wide batches amortize best. Long-vector supplies
+//     (tens of cycles/inst) are simulation-dominated: amortization is
+//     marginal, so batches stay narrow and lean on parallel lanes
+//     instead. The session estimates CPI up front from the supply's
+//     static composition (prog.Stats.IdealCycles for workloads, the
+//     compiler's exact invocation counts for kernels) and refines it
+//     with measured cycles/instructions from every batch that resolves.
+//   - Available gate slots. A batch narrower than the gate's
+//     parallelism would strand free cores, so width never shapes below
+//     min(Jobs, wide cap).
+//   - Supply length. The window targets a fixed number of lockstep
+//     rounds over the whole supply, clamped so short supplies still
+//     lockstep and long supplies keep their working window cache-sized.
+//
+// Shaping never affects results or cache keys — width and window are
+// scheduling only, and SetBatchWidth/SetBatchWindow pin them explicitly
+// when measurement beats the model.
 
-// maxBatchLanes bounds one core.Batch: wide enough to amortize the
-// trace walk, narrow enough that all lanes' machine state stays
-// cache-resident alongside the trace window.
-const maxBatchLanes = 8
+// Batch-shaping bounds. Width: wide enough to amortize the trace walk,
+// narrow enough that all lanes' machine state stays cache-resident
+// alongside the trace window. Window: dispatched instructions per lane
+// per lockstep round.
+const (
+	wideBatchWidth    = 16 // supply-dominated groups (CPI <= cpiWide)
+	defaultBatchWidth = 8  // mixed supplies
+	narrowBatchWidth  = 4  // simulation-dominated groups (CPI >= cpiNarrow)
+	maxBatchWidthCap  = 64 // SetBatchWidth validation ceiling
+
+	minBatchWindow    = 256     // short supplies still lockstep
+	maxBatchWindowCap = 1 << 20 // SetBatchWindow validation ceiling
+	maxAutoWindow     = 32768   // model ceiling: ~1.5 MiB of predecoded trace
+	targetRounds      = 8       // auto window aims for this many rounds per supply
+
+	cpiWide   = 4.0  // at or below: decode-dominated, batch wide
+	cpiNarrow = 24.0 // at or above: simulation-dominated, batch narrow
+)
 
 // WithoutBatching disables RunAll's lockstep batching on a new session:
 // every point dispatches through the per-point path. Results are
@@ -47,6 +90,181 @@ func (s *Session) SetBatching(on bool) { s.nobatch.Store(!on) }
 // Batching reports whether RunAll lockstep batching is enabled.
 func (s *Session) Batching() bool { return !s.nobatch.Load() }
 
+// WithBatchWidth pins the lockstep batch width (lanes per batch) on a
+// new session, bypassing adaptive shaping; 0 restores the adaptive
+// model. It panics on a value SetBatchWidth would reject — a
+// construction-time programmer error, like an invalid regexp.
+func WithBatchWidth(n int) SessionOption {
+	return func(s *Session) {
+		if err := s.SetBatchWidth(n); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// WithBatchWindow pins the lockstep window (dispatched instructions per
+// lane per round) on a new session; 0 restores the adaptive model. It
+// panics on a value SetBatchWindow would reject.
+func WithBatchWindow(n int64) SessionOption {
+	return func(s *Session) {
+		if err := s.SetBatchWindow(n); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// SetBatchWidth pins how many lanes one lockstep batch carries: 0 (the
+// default) restores adaptive shaping, 1 effectively disables batching
+// (every chunk becomes a singleton on the per-point path), and values
+// above the cap or below zero are rejected. Width is scheduling only:
+// results and cache keys never depend on it. Safe to call concurrently
+// with runs; in-flight RunAll calls keep the shape they planned with.
+func (s *Session) SetBatchWidth(n int) error {
+	if n < 0 || n > maxBatchWidthCap {
+		return fmt.Errorf("session: batch width %d out of range [0, %d]", n, maxBatchWidthCap)
+	}
+	s.batchWidth.Store(int64(n))
+	return nil
+}
+
+// BatchWidth returns the pinned batch width (0 = adaptive).
+func (s *Session) BatchWidth() int { return int(s.batchWidth.Load()) }
+
+// SetBatchWindow pins the lockstep window in dispatched instructions
+// per lane per round: 0 (the default) restores adaptive shaping; values
+// below zero or above the cap are rejected. Like width, the window is
+// scheduling only — it tunes locality, never results or cache keys.
+func (s *Session) SetBatchWindow(n int64) error {
+	if n < 0 || n > maxBatchWindowCap {
+		return fmt.Errorf("session: batch window %d out of range [0, %d]", n, int64(maxBatchWindowCap))
+	}
+	s.batchWindow.Store(n)
+	return nil
+}
+
+// BatchWindow returns the pinned lockstep window (0 = adaptive).
+func (s *Session) BatchWindow() int64 { return s.batchWindow.Load() }
+
+// cpiTrack accumulates measured simulated cycles and dispatched
+// instructions for one instruction-supply provenance.
+type cpiTrack struct {
+	mu     sync.Mutex
+	cycles float64
+	insts  float64
+}
+
+// noteCPI folds one resolved lane's measurement into the provenance's
+// running estimate.
+func (s *Session) noteCPI(prov string, rep *stats.Report) {
+	if rep == nil || rep.Insts <= 0 || rep.Cycles <= 0 {
+		return
+	}
+	v, _ := s.cpi.LoadOrStore(prov, &cpiTrack{})
+	tr := v.(*cpiTrack)
+	tr.mu.Lock()
+	tr.cycles += float64(rep.Cycles)
+	tr.insts += float64(rep.Insts)
+	tr.mu.Unlock()
+}
+
+// measuredCPI returns the provenance's measured cycles-per-instruction,
+// if any lane of it has resolved in this session.
+func (s *Session) measuredCPI(prov string) (float64, bool) {
+	v, ok := s.cpi.Load(prov)
+	if !ok {
+		return 0, false
+	}
+	tr := v.(*cpiTrack)
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.insts <= 0 {
+		return 0, false
+	}
+	return tr.cycles / tr.insts, true
+}
+
+// supplyEstimate returns the group's dynamic instruction count and a
+// static cycles-per-instruction prior, both possibly 0 (unknown). For
+// workload modes both come from the recorded prog.Stats (IdealCycles is
+// the paper's resource-bound lower bound, so the prior classifies the
+// regime, not the exact cost); for compiled kernels the compiler's
+// exact invocation counts give the instruction total and vector
+// ops/instruction stands in for cycle weight.
+func supplyEstimate(spec *RunSpec) (insts int64, cpi float64) {
+	if spec.mode == ModeCompiled {
+		if spec.compiled == nil {
+			return 0, 0
+		}
+		var scalar, vec, vecOps int64
+		for _, inv := range spec.schedule {
+			sc, v, ops := spec.compiled.EstimateInvocation(inv.Unit, inv.N)
+			scalar += sc
+			vec += v
+			vecOps += ops
+		}
+		insts = scalar + vec
+		if insts > 0 {
+			// Elements per instruction: ~0 for scalar loops, ~VL for
+			// long-vector ones — the same axis IdealCycles captures.
+			cpi = float64(scalar+vecOps) / float64(insts)
+		}
+		return insts, cpi
+	}
+	var ideal int64
+	for _, w := range spec.workloads {
+		if w == nil {
+			continue
+		}
+		insts += w.Stats.Insts()
+		ideal += w.Stats.IdealCycles()
+	}
+	if insts > 0 {
+		cpi = float64(ideal) / float64(insts)
+	}
+	return insts, cpi
+}
+
+// batchShape sizes one provenance group's batches. See the package
+// comment ("Adaptive batch shaping") for the model; explicit
+// SetBatchWidth/SetBatchWindow pins win over it.
+func (s *Session) batchShape(spec *RunSpec, prov string) (width int, window int64) {
+	insts, cpi := supplyEstimate(spec)
+	if m, ok := s.measuredCPI(prov); ok {
+		cpi = m
+	}
+	width = defaultBatchWidth
+	switch {
+	case cpi > 0 && cpi <= cpiWide:
+		width = wideBatchWidth
+	case cpi >= cpiNarrow:
+		width = narrowBatchWidth
+	}
+	// Parallel lanes change the calculus: a batch narrower than the
+	// gate's parallelism would strand free slots, so width never shapes
+	// below min(Jobs, wide cap).
+	if j := s.Jobs(); width < j {
+		width = min(j, wideBatchWidth)
+	}
+	if pin := int(s.batchWidth.Load()); pin > 0 {
+		width = pin
+	}
+
+	window = int64(core.DefaultBatchWindow)
+	if insts > 0 {
+		window = insts / targetRounds
+		if window < minBatchWindow {
+			window = minBatchWindow
+		}
+		if window > maxAutoWindow {
+			window = maxAutoWindow
+		}
+	}
+	if pin := s.batchWindow.Load(); pin > 0 {
+		window = pin
+	}
+	return width, window
+}
+
 // Result is one RunAllTracked point: the Report (nil on error), which
 // cache tier answered, the wall time the point took inside RunAll —
 // for a batched point this is the time until its whole batch resolved —
@@ -58,15 +276,19 @@ type Result struct {
 	Err     error
 }
 
-// batchGroup is one chunk of up to maxBatchLanes distinct sweep points
-// sharing an instruction supply. Whichever member's memo closure runs
-// first simulates the whole chunk (under one gate slot); the others
+// batchGroup is one chunk of distinct sweep points sharing an
+// instruction supply, shaped by the session's batch cost model.
+// Whichever member's memo closure runs first simulates the whole chunk
+// (on one blocking gate slot, widened across free slots); the others
 // read their lane's result. once gives every reader a happens-before
 // edge on the filled slices.
 type batchGroup struct {
 	once  sync.Once
 	specs []RunSpec
 	plans []plan
+
+	prov   string // instruction-supply provenance (CPI feedback key)
+	window int64  // lockstep window from batchShape
 
 	reps []*stats.Report
 	srcs []Source
@@ -78,12 +300,16 @@ func (g *batchGroup) run(ctx context.Context, s *Session) {
 }
 
 // simulateBatch resolves every lane of the group: store hits are served
-// from disk, the remaining lanes simulate in one core.Batch under a
-// single gate slot, and fresh results are written through to the store.
-// Unlike the per-point path, batched lanes skip the store's
-// cross-process lock-file singleflight — two processes sweeping the
-// same cold points may both simulate them (both write the same bytes);
-// the within-process memo singleflight is unaffected.
+// from disk, the remaining lanes simulate in one core.Batch — on one
+// blocking gate slot, widened across free slots so live lanes advance
+// on parallel goroutines — and fresh results are written through to the
+// store. Batched lanes take the store's per-key cross-process locks
+// best-effort before simulating and release them on write-through: two
+// processes sweeping the same cold points into one store now coordinate
+// exactly like the per-point path, except that a lane whose lock is
+// held elsewhere simulates anyway instead of waiting (both processes
+// write identical bytes, so the worst case is duplicate work, never a
+// wrong record). The within-process memo singleflight is unaffected.
 func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
 	n := len(g.specs)
 	g.reps = make([]*stats.Report, n)
@@ -109,6 +335,26 @@ func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
 	if len(lanes) == 0 {
 		return
 	}
+	// Best-effort cross-process single-flight: claim each missed key's
+	// lock file now, release after write-through (deferred, so every
+	// early return unlocks too). Failure to claim is not failure to run.
+	var unlocks []func()
+	if tl, ok := st.(store.TryLocker); ok {
+		unlocks = make([]func(), 0, len(lanes))
+		for _, i := range lanes {
+			if keys[i] == "" {
+				continue
+			}
+			if release := tl.TryLock(keys[i]); release != nil {
+				unlocks = append(unlocks, release)
+			}
+		}
+	}
+	defer func() {
+		for _, release := range unlocks {
+			release()
+		}
+	}()
 	fail := func(err error) {
 		for _, i := range lanes {
 			g.errs[i] = err
@@ -136,6 +382,15 @@ func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
 		if err != nil {
 			fail(err)
 			return
+		}
+		b.SetWindow(g.window)
+		// Widen across idle gate capacity: the batch holds this blocking
+		// slot and borrows up to min(live, free) more each round, so
+		// live lanes advance on parallel goroutines while the global
+		// simulation bound still holds (*runner.Gate is the SlotPool).
+		if par := min(len(lanes), s.Jobs()); par > 1 {
+			b.SetParallel(par)
+			b.SetSlots(s.gate)
 		}
 		// Compiled groups share kernel and schedule (that is the group
 		// key), so synthesize and predecode the trace once for every
@@ -189,6 +444,13 @@ func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
 			g.reps[i], g.errs[i] = reps[k], errs[k]
 		}
 	})
+	// Feed measured cycles-per-instruction back into the shaping model
+	// for later batches of the same supply.
+	for _, i := range lanes {
+		if g.errs[i] == nil {
+			s.noteCPI(g.prov, g.reps[i])
+		}
+	}
 	if st != nil {
 		for _, i := range lanes {
 			if keys[i] != "" && g.errs[i] == nil && g.reps[i] != nil {
@@ -199,7 +461,9 @@ func (s *Session) simulateBatch(ctx context.Context, g *batchGroup) {
 	}
 }
 
-// member routes one RunAll index to its batch group lane.
+// member routes one RunAll index to its batch group lane. A nil group
+// means the index takes the per-point path; members travel by value so
+// a sweep plans without one heap allocation per point.
 type member struct {
 	g    *batchGroup
 	lane int
@@ -208,12 +472,18 @@ type member struct {
 // planBatches partitions the batchable points (memoizable, prepared)
 // into groups by shared instruction-supply provenance, deduplicates
 // identical points within a group, and chunks each group into batches
-// of up to maxBatchLanes distinct lanes. Chunks of one point gain
-// nothing from the batch engine and stay on the per-point path.
-// Assignment is a pure function of the input order, so which points
-// batch together — and therefore every result — is deterministic.
-func (s *Session) planBatches(specs []RunSpec, plans []plan, ok []bool) []*member {
-	members := make([]*member, len(specs))
+// shaped by the session's cost model (batchShape). Chunks of one point
+// gain nothing from the batch engine and stay on the per-point path.
+// Assignment is a pure function of the input order and the session's
+// shaping state; every point's *result* is deterministic regardless —
+// shaping only decides which points simulate side by side. The returned
+// memoKeys slice carries each batched point's memo key (empty for
+// per-point ones) so RunAllTracked need not re-derive them.
+func (s *Session) planBatches(specs []RunSpec, plans []plan, ok []bool) ([]member, []string) {
+	members := make([]member, len(specs))
+	for i := range members {
+		members[i].lane = -1 // per-point until assigned
+	}
 	type provGroup struct {
 		idxs []int          // first occurrence of each distinct point
 		dups map[string]int // memoKey -> position in idxs
@@ -236,8 +506,9 @@ func (s *Session) planBatches(specs []RunSpec, plans []plan, ok []bool) []*membe
 		memoKeys[i] = mk
 		if pos, seen := pg.dups[mk]; seen {
 			// Identical point requested twice: both ride the same lane
-			// through the memo singleflight.
-			members[i] = &member{lane: pos} // group filled below
+			// through the memo singleflight. The non-negative lane with
+			// a nil group marks the duplicate until the fixup below.
+			members[i] = member{lane: pos}
 			continue
 		}
 		pg.dups[mk] = len(pg.idxs)
@@ -245,8 +516,9 @@ func (s *Session) planBatches(specs []RunSpec, plans []plan, ok []bool) []*membe
 	}
 	for _, pk := range order {
 		pg := byProv[pk]
-		for base := 0; base < len(pg.idxs); base += maxBatchLanes {
-			end := base + maxBatchLanes
+		width, window := s.batchShape(&specs[pg.idxs[0]], pk)
+		for base := 0; base < len(pg.idxs); base += width {
+			end := base + width
 			if end > len(pg.idxs) {
 				end = len(pg.idxs)
 			}
@@ -255,33 +527,34 @@ func (s *Session) planBatches(specs []RunSpec, plans []plan, ok []bool) []*membe
 				continue // singleton: per-point path
 			}
 			g := &batchGroup{
-				specs: make([]RunSpec, len(chunk)),
-				plans: make([]plan, len(chunk)),
+				specs:  make([]RunSpec, len(chunk)),
+				plans:  make([]plan, len(chunk)),
+				prov:   pk,
+				window: window,
 			}
 			for lane, i := range chunk {
 				g.specs[lane] = specs[i]
 				g.plans[lane] = plans[i]
-				members[i] = &member{g: g, lane: lane}
+				members[i] = member{g: g, lane: lane}
 			}
 		}
 	}
 	// Point duplicates at their originals' groups; drop any that landed
 	// on a singleton (no group) back to the per-point path.
 	for i := range members {
-		m := members[i]
-		if m == nil || m.g != nil {
+		if members[i].g != nil || members[i].lane < 0 {
 			continue
 		}
 		pk := specs[i].provenanceKey(s.idOf)
 		pg := byProv[pk]
 		orig := pg.idxs[pg.dups[memoKeys[i]]]
-		if om := members[orig]; om != nil && om.g != nil {
-			members[i] = &member{g: om.g, lane: om.lane}
+		if om := members[orig]; om.g != nil {
+			members[i] = om
 		} else {
-			members[i] = nil
+			members[i] = member{lane: -1}
 		}
 	}
-	return members
+	return members, memoKeys
 }
 
 // RunAllTracked is RunAll plus per-point metadata: for each spec, the
@@ -289,8 +562,9 @@ func (s *Session) planBatches(specs []RunSpec, plans []plan, ok []bool) []*membe
 // the call, and its error. Results are pinned to input order no matter
 // how the points are scheduled, batched, or cancelled. Memo-and-store-
 // missed points sharing an instruction supply are simulated in lockstep
-// batches of up to 8 lanes (see this file's package comment); every
-// other point takes the same path as Session.RunTracked.
+// batches — shaped by the adaptive cost model and advanced on parallel
+// lanes (see this file's package comment); every other point takes the
+// same path as Session.RunTracked.
 func (s *Session) RunAllTracked(ctx context.Context, specs ...RunSpec) []Result {
 	if ctx == nil {
 		ctx = context.Background()
@@ -298,7 +572,10 @@ func (s *Session) RunAllTracked(ctx context.Context, specs ...RunSpec) []Result 
 	n := len(specs)
 	results := make([]Result, n)
 
-	var members []*member
+	var (
+		members  []member
+		memoKeys []string
+	)
 	plans := make([]plan, n)
 	perr := make([]error, n)
 	if s.memo && s.Batching() {
@@ -307,9 +584,9 @@ func (s *Session) RunAllTracked(ctx context.Context, specs ...RunSpec) []Result 
 			plans[i], perr[i] = specs[i].prepare()
 			ok[i] = perr[i] == nil
 		}
-		members = s.planBatches(specs, plans, ok)
+		members, memoKeys = s.planBatches(specs, plans, ok)
 	} else {
-		members = make([]*member, n)
+		members = make([]member, n)
 		for i := range specs {
 			plans[i], perr[i] = specs[i].prepare()
 		}
@@ -326,9 +603,9 @@ func (s *Session) RunAllTracked(ctx context.Context, specs ...RunSpec) []Result 
 			results[i].Err = perr[i]
 			return nil
 		}
-		if m := members[i]; m != nil {
+		if m := members[i]; m.g != nil {
 			src := SourceMemo // overwritten iff this caller computes
-			rep, err := s.runs.DoContext(ctx, specs[i].memoKey(&plans[i], s.idOf), func() (*stats.Report, error) {
+			rep, err := s.runs.DoContext(ctx, memoKeys[i], func() (*stats.Report, error) {
 				m.g.run(ctx, s)
 				src = m.g.srcs[m.lane]
 				return m.g.reps[m.lane], m.g.errs[m.lane]

@@ -258,6 +258,189 @@ func TestBatchStoreWriteThrough(t *testing.T) {
 	}
 }
 
+// TestBatchKnobValidation pins the width/window knob contract: 0 means
+// adaptive, in-range values stick, out-of-range values are rejected by
+// the setters and panic in the construction options.
+func TestBatchKnobValidation(t *testing.T) {
+	s := New()
+	if s.BatchWidth() != 0 || s.BatchWindow() != 0 {
+		t.Fatalf("fresh session not adaptive: width %d window %d", s.BatchWidth(), s.BatchWindow())
+	}
+	if err := s.SetBatchWidth(12); err != nil || s.BatchWidth() != 12 {
+		t.Fatalf("SetBatchWidth(12): %v (width %d)", err, s.BatchWidth())
+	}
+	if err := s.SetBatchWidth(0); err != nil || s.BatchWidth() != 0 {
+		t.Fatalf("SetBatchWidth(0): %v (width %d)", err, s.BatchWidth())
+	}
+	if err := s.SetBatchWidth(-1); err == nil {
+		t.Error("negative width accepted")
+	}
+	if err := s.SetBatchWidth(maxBatchWidthCap + 1); err == nil {
+		t.Error("over-cap width accepted")
+	}
+	if err := s.SetBatchWindow(4096); err != nil || s.BatchWindow() != 4096 {
+		t.Fatalf("SetBatchWindow(4096): %v (window %d)", err, s.BatchWindow())
+	}
+	if err := s.SetBatchWindow(-5); err == nil {
+		t.Error("negative window accepted")
+	}
+	if err := s.SetBatchWindow(maxBatchWindowCap + 1); err == nil {
+		t.Error("over-cap window accepted")
+	}
+	if got := New(WithBatchWidth(6), WithBatchWindow(512)); got.BatchWidth() != 6 || got.BatchWindow() != 512 {
+		t.Errorf("options did not stick: width %d window %d", got.BatchWidth(), got.BatchWindow())
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("WithBatchWidth(-1)", func() { New(WithBatchWidth(-1)) })
+	mustPanic("WithBatchWindow(-1)", func() { New(WithBatchWindow(-1)) })
+}
+
+// TestBatchKnobNeutrality is the memo-key neutrality gate: batch width
+// and window shape scheduling only. Every shape must produce reports
+// identical to per-point dispatch, and changing the shape between runs
+// must still answer from the memo — the keys cannot depend on it.
+func TestBatchKnobNeutrality(t *testing.T) {
+	specs := latencySweep(t, 9)
+	ref := New(WithoutBatching())
+	want, err := ref.RunAll(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct {
+		name  string
+		width int
+		win   int64
+	}{
+		{"width1", 1, 0}, // singleton chunks: per-point path
+		{"narrow", 3, 0},
+		{"wide", 32, 0},
+		{"smallwin", 0, 64},
+		{"pinned", 5, 1024},
+	}
+	for _, sh := range shapes {
+		s := New(WithBatchWidth(sh.width), WithBatchWindow(sh.win))
+		got, err := s.RunAll(context.Background(), specs...)
+		if err != nil {
+			t.Fatalf("%s: %v", sh.name, err)
+		}
+		for i := range specs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%s: point %d differs from per-point dispatch", sh.name, i)
+			}
+		}
+		// Reshape and re-run: everything must come from the memo.
+		if err := s.SetBatchWidth((sh.width + 7) % maxBatchWidthCap); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetBatchWindow(sh.win + 777); err != nil {
+			t.Fatal(err)
+		}
+		sims := s.Simulations()
+		for i, r := range s.RunAllTracked(context.Background(), specs...) {
+			if r.Err != nil || r.Source != SourceMemo {
+				t.Errorf("%s: reshaped re-run point %d: source %v err %v (memo key depends on shape?)", sh.name, i, r.Source, r.Err)
+			}
+		}
+		if s.Simulations() != sims {
+			t.Errorf("%s: reshaped re-run simulated %d extra points", sh.name, s.Simulations()-sims)
+		}
+	}
+}
+
+// TestBatchShapeModel exercises the adaptive cost model directly: CPI
+// classifies the regime, measurement overrides the static prior, pins
+// override everything, and the window tracks supply length.
+func TestBatchShapeModel(t *testing.T) {
+	w := testWorkload(t)
+	s := New(WithJobs(1)) // keep the gate-slot clause out of the way
+	spec := Solo(w)
+	prov := spec.provenanceKey(s.idOf)
+
+	insts, _ := supplyEstimate(&spec)
+	if insts != w.Stats.Insts() || insts <= 0 {
+		t.Fatalf("supplyEstimate insts = %d, want %d", insts, w.Stats.Insts())
+	}
+	_, win := s.batchShape(&spec, prov)
+	wantWin := insts / targetRounds
+	if wantWin < minBatchWindow {
+		wantWin = minBatchWindow
+	}
+	if wantWin > maxAutoWindow {
+		wantWin = maxAutoWindow
+	}
+	if win != wantWin {
+		t.Errorf("window = %d, want %d for a %d-inst supply", win, wantWin, insts)
+	}
+
+	// Measured CPI overrides the static prior: feed a simulation-
+	// dominated measurement and the group shapes narrow...
+	s.noteCPI(prov, &stats.Report{Cycles: 50_000, Insts: 1_000})
+	if width, _ := s.batchShape(&spec, prov); width != narrowBatchWidth {
+		t.Errorf("width = %d after 50-CPI measurement, want %d", width, narrowBatchWidth)
+	}
+	// ...a decode-dominated one shapes wide (fresh provenance, fresh session).
+	s2 := New(WithJobs(1))
+	prov2 := spec.provenanceKey(s2.idOf)
+	s2.noteCPI(prov2, &stats.Report{Cycles: 1_100, Insts: 1_000})
+	if width, _ := s2.batchShape(&spec, prov2); width != wideBatchWidth {
+		t.Errorf("width = %d after 1.1-CPI measurement, want %d", width, wideBatchWidth)
+	}
+	// The gate clause: a narrow group on a many-slot gate widens to use
+	// the slots.
+	s3 := New(WithJobs(10))
+	prov3 := spec.provenanceKey(s3.idOf)
+	s3.noteCPI(prov3, &stats.Report{Cycles: 50_000, Insts: 1_000})
+	if width, _ := s3.batchShape(&spec, prov3); width != 10 {
+		t.Errorf("width = %d with 10 gate slots, want 10", width)
+	}
+	// Pins trump the model.
+	if err := s3.SetBatchWidth(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.SetBatchWindow(999); err != nil {
+		t.Fatal(err)
+	}
+	if width, win := s3.batchShape(&spec, prov3); width != 2 || win != 999 {
+		t.Errorf("pinned shape = (%d, %d), want (2, 999)", width, win)
+	}
+}
+
+// TestRunAllParallelLanesMatchSolo is the session-level differential
+// gate for parallel lane execution: with several gate slots, a batched
+// sweep widens across them and must still return exactly the per-point
+// reports. Run under -race in CI, it is also the session-layer
+// data-race proof.
+func TestRunAllParallelLanesMatchSolo(t *testing.T) {
+	specs := latencySweep(t, 13)
+	ref := New(WithoutBatching(), WithJobs(1))
+	want, err := ref.RunAll(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 4, 8} {
+		s := New(WithJobs(jobs))
+		got, err := s.RunAll(context.Background(), specs...)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range specs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("jobs=%d: point %d: parallel-lane report differs from solo", jobs, i)
+			}
+		}
+		if s.Simulations() != int64(len(specs)) {
+			t.Errorf("jobs=%d: simulated %d, want %d", jobs, s.Simulations(), len(specs))
+		}
+	}
+}
+
 // TestProvenanceKeyGroupsBySupply: machine options must not split a
 // group; workloads and mode must.
 func TestProvenanceKeyGroupsBySupply(t *testing.T) {

@@ -72,6 +72,15 @@ type Session struct {
 	// zero value means batching is on.
 	nobatch atomic.Bool
 
+	// batchWidth / batchWindow pin RunAll's batch shape; 0 (the zero
+	// value) selects adaptive shaping. cpi refines the shaping model
+	// with measured cycles-per-instruction, keyed by instruction-supply
+	// provenance. All three are scheduling state only — results and
+	// cache keys never depend on them (see batch.go).
+	batchWidth  atomic.Int64
+	batchWindow atomic.Int64
+	cpi         sync.Map // provenance key -> *cpiTrack
+
 	// st boxes the optional persistent second cache tier (nil box or nil
 	// backend = none); storeHits counts runs this session served from it,
 	// peerHits the subset served by a remote peer tier. The pointer-to-box

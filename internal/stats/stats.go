@@ -4,7 +4,10 @@
 // weighted-work speedup of Section 4.1.
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Cycle counts processor cycles.
 type Cycle = int64
@@ -71,6 +74,42 @@ type interval struct{ S, E Cycle }
 // order guarantees.
 type UnitTimeline struct {
 	busy [NumUnits][]interval
+	// box, when non-nil, is the pooled storage AcquireBacking borrowed;
+	// ReleaseBacking hands the (possibly regrown) lists back through it.
+	box *[NumUnits][]interval
+}
+
+// timelineBacking recycles per-unit interval storage across runs. The
+// lists are the dominant per-lane transient of a simulation — without
+// reuse every lane regrows them from nil through repeated doubling —
+// and their needed capacity is unknowable ahead of time (adjacent busy
+// windows merge at a workload-dependent rate), so pooling beats any
+// static presize: capacities converge to the high-water mark of what
+// runs actually needed. Entries are pointer-free, so pooled garbage
+// costs the collector nothing to scan.
+var timelineBacking = sync.Pool{New: func() any { return new([NumUnits][]interval) }}
+
+// AcquireBacking equips the timeline with pooled per-unit storage.
+// Optional: a timeline works without it, allocating as it grows.
+func (tl *UnitTimeline) AcquireBacking() {
+	box := timelineBacking.Get().(*[NumUnits][]interval)
+	for u := range box {
+		tl.busy[u] = box[u][:0]
+	}
+	tl.box = box
+}
+
+// ReleaseBacking returns pooled storage for reuse by a later timeline.
+// Call once, after the final Sweep/BusyCycles; the timeline reads as
+// empty afterwards. No-op when AcquireBacking was never called.
+func (tl *UnitTimeline) ReleaseBacking() {
+	if tl.box == nil {
+		return
+	}
+	*tl.box = tl.busy
+	tl.busy = [NumUnits][]interval{}
+	timelineBacking.Put(tl.box)
+	tl.box = nil
 }
 
 // AddBusy records that unit was busy over [start, end).

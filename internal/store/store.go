@@ -439,6 +439,60 @@ func (s *Dir) lock(ctx context.Context, key string) (func(), error) {
 	}
 }
 
+// TryLocker is the optional non-blocking face of a backend's
+// cross-process single-flight. TryLock claims key's lock without
+// waiting and returns its release function, or nil when the lock is
+// held elsewhere (or the backend cannot lock). Batched sweeps use it:
+// they claim every missed key before simulating so concurrent
+// processes skip work they can see in flight, but never wait — the
+// locks stay advisory, exactly like Do's (all writers of one key write
+// identical bytes).
+type TryLocker interface {
+	TryLock(key string) (release func())
+}
+
+// TryLock claims key's lock file without blocking: one creation
+// attempt, plus one steal-and-retry when the existing lock is older
+// than the staleness bound (its holder crashed — without this, an
+// abandoned lock would disable batched-sweep coordination for the key
+// forever). Returns nil when the lock is live elsewhere.
+func (s *Dir) TryLock(key string) (release func()) {
+	path := s.path(key) + ".lock"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			token := fmt.Sprintf("%d.%d %s\n", os.Getpid(), lockSeq.Add(1), time.Now().UTC().Format(time.RFC3339Nano))
+			_, werr := f.WriteString(token)
+			f.Close()
+			if werr != nil {
+				os.Remove(path)
+				return nil
+			}
+			return func() {
+				if data, rerr := os.ReadFile(path); rerr == nil && string(data) == token {
+					os.Remove(path)
+				}
+			}
+		}
+		if !os.IsExist(err) {
+			return nil
+		}
+		info, serr := os.Stat(path)
+		if serr != nil || time.Since(info.ModTime()) <= s.lockStale {
+			return nil // live lock (or vanished: holder just released)
+		}
+		// Stale: steal by atomic rename, then retry the creation once.
+		stale := fmt.Sprintf("%s.stale.%d.%d", path, os.Getpid(), lockSeq.Add(1))
+		if os.Rename(path, stale) == nil {
+			os.Remove(stale)
+		}
+	}
+	return nil
+}
+
 // IsContextErr mirrors the engine's cancellation predicate for callers
 // that hold only a store.
 func IsContextErr(err error) bool { return runner.IsContextErr(err) }

@@ -313,6 +313,92 @@ func TestStaleLockStolen(t *testing.T) {
 	}
 }
 
+func TestTryLock(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := s.TryLock("k")
+	if release == nil {
+		t.Fatal("TryLock on a free key failed")
+	}
+	lockPath := s.path("k") + ".lock"
+	if _, err := os.Stat(lockPath); err != nil {
+		t.Fatalf("no lock file after TryLock: %v", err)
+	}
+	// Held: a second claim must not block, just miss.
+	if again := s.TryLock("k"); again != nil {
+		again()
+		t.Fatal("TryLock succeeded on a held key")
+	}
+	release()
+	if _, err := os.Stat(lockPath); !os.IsNotExist(err) {
+		t.Fatalf("lock file survived release: %v", err)
+	}
+	// Released: claimable again; release is idempotent-safe to call once.
+	if release = s.TryLock("k"); release == nil {
+		t.Fatal("TryLock after release failed")
+	}
+	release()
+}
+
+func TestTryLockStealsStale(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLockTuning(50*time.Millisecond, 5*time.Millisecond)
+	lockPath := s.path("k") + ".lock"
+	os.MkdirAll(filepath.Dir(lockPath), 0o755)
+	if err := os.WriteFile(lockPath, []byte("dead\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	os.Chtimes(lockPath, old, old)
+
+	release := s.TryLock("k")
+	if release == nil {
+		t.Fatal("stale lock not stolen")
+	}
+	release()
+	if _, err := os.Stat(lockPath); !os.IsNotExist(err) {
+		t.Fatal("lock file survived release after steal")
+	}
+	// A fresh foreign lock is respected, and release never removes a
+	// lock the releaser does not own.
+	if err := os.WriteFile(lockPath, []byte("alive\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TryLock("k"); got != nil {
+		got()
+		t.Fatal("fresh foreign lock stolen")
+	}
+	release() // second call: token no longer matches anything of ours
+	if data, err := os.ReadFile(lockPath); err != nil || string(data) != "alive\n" {
+		t.Fatalf("foreign lock disturbed: %q, %v", data, err)
+	}
+}
+
+func TestTieredTryLock(t *testing.T) {
+	local, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(local)
+	release := tiered.TryLock("k")
+	if release == nil {
+		t.Fatal("tiered TryLock with a local tier failed")
+	}
+	if local.TryLock("k") != nil {
+		t.Fatal("tiered lock did not reach the local tier")
+	}
+	release()
+
+	if NewTiered(nil).TryLock("k") != nil {
+		t.Fatal("diskless tiered composite claimed a lock")
+	}
+}
+
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Fatal("empty directory accepted")

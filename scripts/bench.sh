@@ -7,11 +7,16 @@
 #   scripts/bench.sh --gate-ref REF   # measure REF on THIS machine and gate against it
 #                                     # (what CI uses: same-hardware comparison, so the
 #                                     # gate never trips on runner-vs-laptop differences)
+#   scripts/bench.sh --cpuprofile cpu.pprof --memprofile mem.pprof
+#                                     # also profile the measuring run (either flag alone
+#                                     # works; combine with any mode above)
 #
 # Environment knobs (all optional):
 #   BENCHTIME    minimum measuring time per benchmark   (default 300ms)
 #   COUNT        samples per benchmark, fastest wins    (default 3)
+#   BENCH_JOBS   session gate width for the sweep cases (default: all cores)
 #   MAX_REGRESS  geomean ns/op regression gate fraction (default 0.10)
+#   MAX_REGRESS_BYTES  geomean B/op regression gate fraction (default 0.10)
 #   BASELINE     baseline artifact path                 (default BENCH_baseline.json)
 #   MTVEC_BENCH_SCALE  workload scale override; recorded in the artifact
 set -euo pipefail
@@ -19,26 +24,37 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME=${BENCHTIME:-300ms}
 COUNT=${COUNT:-3}
+BENCH_JOBS=${BENCH_JOBS:-0}
 MAX_REGRESS=${MAX_REGRESS:-0.10}
+MAX_REGRESS_BYTES=${MAX_REGRESS_BYTES:-0.10}
 BASELINE=${BASELINE:-BENCH_baseline.json}
 
 OUT=BENCH_PR.json
 GATE=1
 REF=${GITHUB_SHA:-local}
 GATE_REF=
+PROFILE_FLAGS=()
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -o) OUT=$2; GATE=0; shift 2 ;;
     --refresh) OUT=$BASELINE; GATE=0; REF=baseline; shift ;;
     --gate-ref) GATE_REF=$2; shift 2 ;;
-    *) echo "usage: scripts/bench.sh [-o OUT.json | --refresh | --gate-ref REF]" >&2; exit 2 ;;
+    --cpuprofile) PROFILE_FLAGS+=(-cpuprofile "$2"); shift 2 ;;
+    --memprofile) PROFILE_FLAGS+=(-memprofile "$2"); shift 2 ;;
+    *) echo "usage: scripts/bench.sh [-o OUT.json | --refresh | --gate-ref REF] [--cpuprofile F] [--memprofile F]" >&2; exit 2 ;;
   esac
 done
 
+JOBS_FLAGS=()
+if [[ $BENCH_JOBS -gt 0 ]]; then
+  JOBS_FLAGS=(-bench-jobs "$BENCH_JOBS")
+fi
+
 echo "measuring benchmark suite (benchtime=$BENCHTIME count=$COUNT) -> $OUT" >&2
 go run ./cmd/mtvbench -bench-json -benchtime "$BENCHTIME" -bench-count "$COUNT" \
-  -bench-ref "$REF" -o "$OUT"
+  -bench-ref "$REF" -o "$OUT" "${JOBS_FLAGS[@]}" \
+  ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"}
 
 [[ $GATE -eq 1 ]] || exit 0
 
@@ -50,9 +66,15 @@ if [[ -n $GATE_REF ]]; then
   trap 'git worktree remove --force "$WT" >/dev/null 2>&1 || true' EXIT
   git worktree add --detach "$WT" "$GATE_REF" >&2
   if [[ -f "$WT/cmd/mtvbench/bench.go" ]]; then
+    BASE_JOBS_FLAGS=()
+    if [[ $BENCH_JOBS -gt 0 ]] && grep -q 'bench-jobs' "$WT/cmd/mtvbench/main.go"; then
+      BASE_JOBS_FLAGS=(-bench-jobs "$BENCH_JOBS")
+    fi
     (cd "$WT" && go run ./cmd/mtvbench -bench-json -benchtime "$BENCHTIME" \
-      -bench-count "$COUNT" -bench-ref "$GATE_REF" -o BENCH_base.json)
+      -bench-count "$COUNT" -bench-ref "$GATE_REF" -o BENCH_base.json \
+      ${BASE_JOBS_FLAGS[@]+"${BASE_JOBS_FLAGS[@]}"})
     go run ./cmd/mtvbench -bench-compare -max-regress "$MAX_REGRESS" \
+      -max-regress-bytes "$MAX_REGRESS_BYTES" \
       -o BENCH_compare.json "$WT/BENCH_base.json" "$OUT"
     exit 0
   fi
@@ -64,4 +86,5 @@ if [[ ! -f $BASELINE ]]; then
   exit 0
 fi
 go run ./cmd/mtvbench -bench-compare -max-regress "$MAX_REGRESS" \
+  -max-regress-bytes "$MAX_REGRESS_BYTES" \
   -o BENCH_compare.json "$BASELINE" "$OUT"

@@ -138,6 +138,18 @@ func WithoutMemo() SessionOption { return session.WithoutMemo() }
 // runtime with Session.SetBatching.
 func WithoutBatching() SessionOption { return session.WithoutBatching() }
 
+// WithBatchWidth pins how many lanes one lockstep batch carries on a
+// new session, bypassing the adaptive shaping model; 0 restores it.
+// Width is scheduling only — results and cache keys never depend on it.
+// Panics on a value Session.SetBatchWidth would reject.
+func WithBatchWidth(n int) SessionOption { return session.WithBatchWidth(n) }
+
+// WithBatchWindow pins a new session's lockstep window (dispatched
+// instructions per lane per round), bypassing the adaptive shaping
+// model; 0 restores it. Like width, scheduling only. Panics on a value
+// Session.SetBatchWindow would reject.
+func WithBatchWindow(n int64) SessionOption { return session.WithBatchWindow(n) }
+
 // RunResult is one Session.RunAllTracked point: the Report (nil on
 // error), the cache tier that answered, the point's wall time inside
 // the call — for a batched point, the time until its whole batch
