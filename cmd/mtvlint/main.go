@@ -1,0 +1,94 @@
+// Command mtvlint runs the repository's static-analysis suite
+// (internal/lint) over the packages matching its arguments — ./... by
+// default — and exits nonzero if any invariant is violated.
+//
+// Usage:
+//
+//	mtvlint [-json] [packages]
+//
+// With -json the findings are emitted as a JSON array of objects with
+// "analyzer", "file", "line", "col" and "message" fields (an empty
+// array when the tree is clean), for machine consumption in CI.
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mtvec/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtvlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mtvlint [-json] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "mtvlint: %v\n", err)
+		return 2
+	}
+	pkgs, ix, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtvlint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, ix, lint.All())
+
+	if *jsonOut {
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "mtvlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

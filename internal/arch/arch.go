@@ -166,6 +166,7 @@ type Spec struct {
 	// Name labels the shape in CLIs and reports ("convex-c3400", ...).
 	// It carries no semantics: two specs that differ only in Name
 	// simulate identically and share memoized results.
+	//mtvlint:allow keycomplete -- Name is a display label with no simulation semantics; sharing cached results across names is intended
 	Name string
 
 	RegFile
@@ -249,26 +250,29 @@ func (s *Spec) Validate() error {
 // machine's context count: the MaxContexts cap and, when partitioning,
 // even divisibility with at least one register per context.
 func (s *Spec) ValidateContexts(contexts int) error {
+	var errs []error
 	if contexts < 1 || contexts > s.MaxContexts {
-		return fmt.Errorf("arch: contexts %d out of range 1..%d (spec %q)", contexts, s.MaxContexts, s.Name)
+		errs = append(errs, fmt.Errorf("arch: contexts %d out of range 1..%d (spec %q)", contexts, s.MaxContexts, s.Name))
 	}
-	if s.PartitionPerContext {
-		if s.VRegs%contexts != 0 {
-			return fmt.Errorf("arch: %d contexts do not divide the %d-register partitioned file", contexts, s.VRegs)
-		}
-		share := s.VRegs / contexts
-		if share < 1 {
-			return fmt.Errorf("arch: partitioning %d registers across %d contexts leaves none", s.VRegs, contexts)
-		}
-		// Each context's share must align to bank boundaries: a split
-		// cutting through a physical bank would hand two contexts
-		// private copies of one bank's ports.
-		if s.VRegsPerBank > 0 && share%s.VRegsPerBank != 0 {
-			return fmt.Errorf("arch: partitioning %d registers across %d contexts splits a %d-register bank; per-context share must be a whole number of banks",
-				s.VRegs, contexts, s.VRegsPerBank)
+	// The partition checks form a derivation chain (share exists only
+	// when the division is even), so within the chain only the first
+	// applicable problem is meaningful — but it is reported alongside an
+	// out-of-range count rather than hidden behind it.
+	if s.PartitionPerContext && contexts >= 1 {
+		switch share := s.VRegs / contexts; {
+		case s.VRegs%contexts != 0:
+			errs = append(errs, fmt.Errorf("arch: %d contexts do not divide the %d-register partitioned file", contexts, s.VRegs))
+		case share < 1:
+			errs = append(errs, fmt.Errorf("arch: partitioning %d registers across %d contexts leaves none", s.VRegs, contexts))
+		case s.VRegsPerBank > 0 && share%s.VRegsPerBank != 0:
+			// Each context's share must align to bank boundaries: a split
+			// cutting through a physical bank would hand two contexts
+			// private copies of one bank's ports.
+			errs = append(errs, fmt.Errorf("arch: partitioning %d registers across %d contexts splits a %d-register bank; per-context share must be a whole number of banks",
+				s.VRegs, contexts, s.VRegsPerBank))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Derived is the set of lookup tables the engine consumes, resolved once

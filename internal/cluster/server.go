@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -384,10 +385,16 @@ var streamParams = map[string]bool{
 // typo'd axis must not silently simulate the default machine.
 func queryRunRequest(r *http.Request) (rq RunRequest, switches bool, err error) {
 	q := r.URL.Query()
+	var unknown []string
 	for name := range q {
 		if !streamParams[name] {
-			return RunRequest{}, false, fmt.Errorf("unknown query parameter %q", name)
+			unknown = append(unknown, name)
 		}
+	}
+	if len(unknown) > 0 {
+		// Sorted so the diagnostic does not depend on map iteration order.
+		sort.Strings(unknown)
+		return RunRequest{}, false, fmt.Errorf("unknown query parameter %q", unknown[0])
 	}
 	rq = RunRequest{Mode: q.Get("mode"), Policy: q.Get("policy")}
 	for _, tag := range strings.Split(q.Get("programs"), ",") {

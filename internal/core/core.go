@@ -248,6 +248,10 @@ func newMachine(cfg Config, slab *batchSlab) (*Machine, error) {
 	// (or one policy value) across concurrent runs safe by construction.
 	cfg.Policy = cfg.Policy.Clone()
 	m := &Machine{cfg: cfg, lat: cfg.Lat, mem: mem, cur: -1, lastDisp: -1}
+	// Released by report on the success path, and by runLoop/finish on
+	// every error path; ReleaseBacking is idempotent, so the paths may
+	// overlap safely.
+	//mtvlint:allow slotpair -- protocol spans functions: report/runLoop/finish release on every terminal path
 	m.tl.AcquireBacking()
 	_, m.unfair = cfg.Policy.(sched.Unfair)
 	m.dual = cfg.DualScalar
@@ -470,6 +474,9 @@ func (m *Machine) runLoop(ctx context.Context, stop Stop, paceTarget int64) (boo
 	done := ctx.Done()
 	if done != nil {
 		if err := ctx.Err(); err != nil {
+			// An error abandons the lane in every caller: report never
+			// runs, so return the pooled timeline storage here.
+			m.tl.ReleaseBacking()
 			return false, err
 		}
 	}
@@ -499,6 +506,7 @@ func (m *Machine) runLoop(ctx context.Context, stop Stop, paceTarget int64) (boo
 		if done != nil && m.now >= nextCheck {
 			nextCheck = m.now + cancelCheckStride
 			if err := ctx.Err(); err != nil {
+				m.tl.ReleaseBacking() // cancelled: report never runs
 				return false, err
 			}
 		}
@@ -543,6 +551,7 @@ func (m *Machine) runLoop(ctx context.Context, stop Stop, paceTarget int64) (boo
 // finish surfaces stream errors and assembles the run's Report.
 func (m *Machine) finish(stop Stop) (*stats.Report, error) {
 	if err := m.streamErrors(); err != nil {
+		m.tl.ReleaseBacking() // failed run: report never runs
 		return nil, err
 	}
 	return m.report(stop), nil

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// deterministicPkgs are the packages whose entire output must be
+// byte-reproducible (docs/GOLDEN.txt pins the suite; internal/metrics
+// promises byte-identical scrapes): every map iteration there must use
+// a sorted-keys or pure-collection idiom, and wall clocks and random
+// sources are banned outright.
+var deterministicPkgs = []string{
+	"internal/core",
+	"internal/stats",
+	"internal/report",
+	"internal/metrics",
+}
+
+// Determinism flags the constructs that make output depend on map
+// iteration order or ambient state:
+//
+//   - in the deterministic packages: any time.Now call, any math/rand
+//     import, and any range over a map whose body is not a pure
+//     collection (append / map insert / delete / integer accumulate /
+//     guarded extremum);
+//   - in every package: a map-range body that returns a value derived
+//     from the iteration variables (which diagnostic wins depends on
+//     hash order), or that feeds rendered output (report cell
+//     formatters, table rows, fmt.Fprint*, or Write* methods) directly
+//     from the iteration.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall clocks, random sources and order-dependent map iteration in deterministic output paths",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	scoped := false
+	for _, p := range deterministicPkgs {
+		if pkgIs(pass.Pkg.Path, p) {
+			scoped = true
+			break
+		}
+	}
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		if scoped {
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
+					(path == "math/rand" || path == "math/rand/v2") {
+					pass.Reportf(imp.Pos(), "deterministic package imports %s; seedable randomness has no place in reproducible simulation output", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if scoped && isPkgFunc(info, n, "time", "Now") {
+					pass.Reportf(n.Pos(), "deterministic package calls time.Now; simulated time must come from the machine clock")
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, scoped, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange applies the map-iteration rules to one range statement.
+func checkMapRange(pass *Pass, scoped bool, rng *ast.RangeStmt) {
+	info := pass.Pkg.TypesInfo
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	if scoped && !collectIdiom(info, rng.Body) {
+		pass.Reportf(rng.Pos(), "map iteration in a deterministic package is not a pure collection; iterate sorted keys or collect-then-sort")
+		return
+	}
+
+	// Everywhere: a return whose value derives from the iteration
+	// variables makes "which entry answered" depend on hash order.
+	iterVars := rangeVarObjs(info, rng)
+	var flagged bool
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if flagged {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesAny(info, res, iterVars) {
+					pass.Reportf(n.Pos(), "return inside map iteration depends on the iteration variables; which entry is reported varies run to run — sort the keys first")
+					flagged = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if !scoped && rendersOutput(info, n) {
+				pass.Reportf(n.Pos(), "map iteration feeds rendered output (%s); emit from sorted keys instead", exprString(pass.Pkg.Fset, n.Fun))
+				flagged = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// rangeVarObjs collects the key/value variable objects of a range
+// statement.
+func rangeVarObjs(info *types.Info, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil { // `=` instead of `:=`
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// usesAny reports whether the expression references any of the objects.
+func usesAny(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rendersOutput reports whether a call emits user-visible text: the
+// report package's cell formatters and table builders, fmt's writer
+// family, or a Write*/String-building method.
+func rendersOutput(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgFunc(info, call, "internal/report", "*") {
+		return true
+	}
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return false
+	}
+	if pkgIs(pkgPathOf(obj), "fmt") {
+		switch obj.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+		return false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "AddRow":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIdiom reports whether a loop body is a pure collection: every
+// statement only gathers entries (append, map/set insert, delete),
+// accumulates commutatively (integer `+=`/`++`; float accumulation is
+// order-sensitive and rejected), tracks a guarded extremum, or recurses
+// into such statements. A body like that produces identical results in
+// any iteration order; everything else must iterate sorted keys.
+func collectIdiom(info *types.Info, body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if !collectStmt(info, st, false) {
+			return false
+		}
+	}
+	return true
+}
+
+func collectStmt(info *types.Info, st ast.Stmt, inGuard bool) bool {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		return collectAssign(info, st, inGuard)
+	case *ast.IncDecStmt:
+		return isInteger(info.TypeOf(st.X))
+	case *ast.DeclStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		for _, s := range st.List {
+			if !collectStmt(info, s, inGuard) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil && !collectStmt(info, st.Init, inGuard) {
+			return false
+		}
+		if !pureExpr(info, st.Cond) {
+			return false
+		}
+		// A comparison guard admits plain assignments inside: the
+		// max/min-tracking idiom (`if v > best { best = v }`).
+		guard := inGuard || comparisonCond(st.Cond)
+		if !collectStmt(info, st.Body, guard) {
+			return false
+		}
+		return st.Else == nil || collectStmt(info, st.Else, guard)
+	case *ast.BranchStmt:
+		return st.Tok.String() == "continue" // break leaks iteration order
+	case *ast.RangeStmt:
+		// Nested iteration over the current value is still collection as
+		// long as the inner body is.
+		return collectStmt(info, st.Body, inGuard)
+	case *ast.ForStmt:
+		if st.Cond != nil && !pureExpr(info, st.Cond) {
+			return false
+		}
+		return collectStmt(info, st.Body, inGuard)
+	default:
+		return false
+	}
+}
+
+func collectAssign(info *types.Info, st *ast.AssignStmt, inGuard bool) bool {
+	// Compound arithmetic: only integer accumulation commutes exactly.
+	switch st.Tok.String() {
+	case "+=", "-=", "|=", "&=", "^=", "*=":
+		for _, l := range st.Lhs {
+			if !isInteger(info.TypeOf(l)) {
+				return false
+			}
+		}
+		return true
+	case ":=":
+		return true // fresh locals are inert until used by a disallowed statement
+	case "=":
+	default:
+		return false
+	}
+	for i, l := range st.Lhs {
+		switch ast.Unparen(l).(type) {
+		case *ast.IndexExpr:
+			// Map or slice insert keyed by loop data.
+			continue
+		case *ast.Ident, *ast.SelectorExpr:
+			if i < len(st.Rhs) {
+				if call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+						if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+							continue // x = append(x, ...)
+						}
+					}
+				}
+			}
+			if inGuard {
+				continue // extremum tracking under a comparison guard
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// comparisonCond reports whether an expression is (or contains at its
+// top level) an ordering comparison — the shape of an extremum guard.
+func comparisonCond(e ast.Expr) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op.String() {
+	case "<", ">", "<=", ">=", "==", "!=":
+		return true
+	case "&&", "||":
+		return comparisonCond(b.X) || comparisonCond(b.Y)
+	}
+	return false
+}
+
+// pureExpr conservatively reports that evaluating an expression cannot
+// have side effects: identifiers, selectors, indexing, literals,
+// arithmetic and len/cap calls only.
+func pureExpr(info *types.Info, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+					return true
+				}
+			}
+			pure = false
+			return false
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return pure
+	})
+	return pure
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRE matches analysistest-style expectations in fixture sources:
+//
+//	someOffendingCode() // want `regexp the message must match`
+var wantRE = regexp.MustCompile("//\\s*want `([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runFixture loads the fixture packages under testdata/src, applies one
+// analyzer, and cross-checks its diagnostics against the `// want`
+// comments in the fixture sources — every diagnostic must be expected
+// on its exact line, and every expectation must fire. Deleting an
+// analyzer's check therefore fails its fixture test.
+func runFixture(t *testing.T, a *Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, ix, err := LoadFixture(filepath.Join("testdata", "src"), paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range Run(pkgs, ix, []*Analyzer{a}) {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

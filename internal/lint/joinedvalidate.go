@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// joinedValidatePkgs are the validation layers whose contract — set by
+// the session option layer in PR 2 and extended to memsys in PR 5 — is
+// that a caller sees every diagnosable problem at once, joined, instead
+// of fixing one and tripping over the next.
+var joinedValidatePkgs = []string{
+	"internal/arch",
+	"internal/memsys",
+	"internal/session",
+}
+
+// JoinedValidate flags Validate-named functions that bail out with a
+// freshly-constructed error (fmt.Errorf / errors.New) instead of
+// accumulating diagnostics for errors.Join: a direct `return
+// fmt.Errorf(...)` hides every later check from the caller.
+var JoinedValidate = &Analyzer{
+	Name: "joinedvalidate",
+	Doc:  "Validate* functions in arch/memsys/session must accumulate diagnostics via errors.Join, not return the first one",
+	Run:  runJoinedValidate,
+}
+
+func runJoinedValidate(pass *Pass) {
+	scoped := false
+	for _, p := range joinedValidatePkgs {
+		if pkgIs(pass.Pkg.Path, p) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return
+	}
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isValidateName(fd.Name.Name) || !returnsError(info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // diagnostic-collector closures construct errors on purpose
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if freshError(info, res) {
+						pass.Reportf(ret.Pos(), "%s returns its first diagnostic directly; accumulate into a slice and return errors.Join so callers see every problem at once", fd.Name.Name)
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isValidateName(name string) bool {
+	return name == "Validate" || (len(name) > len("Validate") && name[:len("Validate")] == "Validate")
+}
+
+// returnsError reports whether the function's last result is error.
+func returnsError(info *types.Info, fd *ast.FuncDecl) bool {
+	obj := info.Defs[fd.Name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return last.String() == "error"
+}
+
+// freshError reports whether the expression constructs a new diagnostic
+// in place: fmt.Errorf(...) or errors.New(...).
+func freshError(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isPkgFunc(info, call, "fmt", "Errorf") || isPkgFunc(info, call, "errors", "New")
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// keyFuncNames are the cache-key encoders. memoKey and persistKey are
+// the roots; appendMachineKey is the shared machine-dimension tail both
+// delegate to.
+var keyFuncNames = map[string]bool{
+	"memoKey":          true,
+	"persistKey":       true,
+	"appendMachineKey": true,
+}
+
+// KeyComplete structurally compares the fields of the run-describing
+// structs — the key functions' receiver (RunSpec) plus arch.Spec and
+// arch.RegFile — against the fields those functions actually read.
+// A machine-shape field that never reaches the key is exactly the PR
+// 4/5 bug class: two different machines share one cached Report. The
+// check walks the key functions and everything they call inside their
+// package, crediting every field touched along a selection path
+// (embedded promotion included); a field that is deliberately not part
+// of a run's identity carries an //mtvlint:allow keycomplete directive
+// at its declaration.
+var KeyComplete = &Analyzer{
+	Name: "keycomplete",
+	Doc:  "every machine-shape field must be encoded by memoKey/appendMachineKey/persistKey (or be explicitly exempted)",
+	Run:  runKeyComplete,
+}
+
+func runKeyComplete(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	decls := funcDecls(pass.Pkg)
+
+	// Roots: the key functions declared in this package. Packages
+	// without them (everything but internal/session) are a no-op.
+	var roots []*ast.FuncDecl
+	var recvTypes []*types.Named
+	for obj, fd := range decls {
+		if keyFuncNames[fd.Name.Name] {
+			roots = append(roots, fd)
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if n := namedOf(sig.Recv().Type()); n != nil {
+					recvTypes = append(recvTypes, n)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Transitive closure over same-package calls: a helper like
+	// appendNum or a future splitKey still credits the fields it reads.
+	referenced := make(map[*types.Var]bool)
+	seen := make(map[*ast.FuncDecl]bool)
+	var walk func(fd *ast.FuncDecl)
+	walk = func(fd *ast.FuncDecl) {
+		if fd == nil || seen[fd] || fd.Body == nil {
+			return
+		}
+		seen[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				creditSelection(info, n, referenced)
+			case *ast.CallExpr:
+				if obj := calleeObj(info, n); obj != nil {
+					walk(decls[obj])
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range roots {
+		walk(fd)
+	}
+
+	// Targets: the key functions' receiver structs plus the arch-layer
+	// shape structs, wherever the arch package lives in this load.
+	targets := make(map[*types.Named]bool)
+	for _, n := range recvTypes {
+		targets[n] = true
+	}
+	if arch := pass.Index.Lookup("internal/arch"); arch != nil {
+		for _, name := range []string{"Spec", "RegFile"} {
+			if obj, ok := arch.Types.Scope().Lookup(name).(*types.TypeName); ok {
+				if n, ok := obj.Type().(*types.Named); ok {
+					targets[n] = true
+				}
+			}
+		}
+	}
+
+	for named := range targets {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if referenced[field] {
+				continue
+			}
+			pass.Reportf(field.Pos(), "field %s.%s never reaches memoKey/appendMachineKey/persistKey; a run differing only in it would collide in the cache (encode it, or exempt it with //mtvlint:allow keycomplete -- reason)",
+				named.Obj().Name(), field.Name())
+		}
+	}
+}
+
+// creditSelection marks every field traversed by a field selection,
+// including the embedded hops of a promoted access (p.cfg.MaxContexts
+// credits both the embedded Spec and Spec.MaxContexts).
+func creditSelection(info *types.Info, sel *ast.SelectorExpr, referenced map[*types.Var]bool) {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	t := s.Recv()
+	for _, idx := range s.Index() {
+		for {
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		f := st.Field(idx)
+		referenced[f] = true
+		t = f.Type()
+	}
+}

@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package. Packages under analysis
+// (the module's own) carry their syntax and full type information;
+// dependency packages — the standard library — are type-checked only as
+// deep as import resolution needs.
+type Package struct {
+	// Path is the package's import path ("mtvec/internal/core"). For
+	// fixture packages it is the path under the fixture root.
+	Path string
+
+	// Dir is the directory holding the package's sources.
+	Dir string
+
+	// Files is the parsed syntax, in file-name order.
+	Files []*ast.File
+
+	// Fset is the file set shared by every package of one load.
+	Fset *token.FileSet
+
+	// Types and TypesInfo are the go/types results. TypesInfo is nil
+	// for dependency packages loaded only to resolve imports.
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Index gives analyzers access to every package of a load — the
+// analyzed set plus type-checked dependencies — and to the shared
+// suppression-directive table.
+type Index struct {
+	fset  *token.FileSet
+	pkgs  map[string]*Package
+	allow map[string]map[int][]string // filename -> line -> analyzer names
+}
+
+// Lookup returns the loaded package with the given import path, or the
+// lexically-first one whose path ends in "/"+suffix, or nil. Exact
+// matches win; ties break by path so the answer never depends on map
+// iteration order.
+func (ix *Index) Lookup(path string) *Package {
+	if p := ix.pkgs[path]; p != nil {
+		return p
+	}
+	var best *Package
+	for _, p := range ix.pkgs {
+		if strings.HasSuffix(p.Path, "/"+path) && (best == nil || p.Path < best.Path) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Allowed reports whether a diagnostic from the named analyzer at pos
+// is suppressed by an `//mtvlint:allow name` directive on the same line
+// or the line directly above.
+func (ix *Index) Allowed(analyzer string, pos token.Position) bool {
+	lines := ix.allow[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordDirectives scans a file's comments for mtvlint:allow directives
+// and records which analyzers they suppress on which lines.
+func (ix *Index) recordDirectives(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//mtvlint:allow")
+			if !ok {
+				continue
+			}
+			// Drop the optional "-- reason" tail, then split names.
+			if i := strings.Index(text, "--"); i >= 0 {
+				text = text[:i]
+			}
+			pos := ix.fset.Position(c.Pos())
+			m := ix.allow[pos.Filename]
+			if m == nil {
+				m = make(map[int][]string)
+				ix.allow[pos.Filename] = m
+			}
+			for _, name := range strings.FieldsFunc(text, func(r rune) bool {
+				return r == ',' || r == ' ' || r == '\t'
+			}) {
+				m[pos.Line] = append(m[pos.Line], name)
+			}
+		}
+	}
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// loader resolves, parses and type-checks packages. It implements
+// types.Importer so the checker can pull dependencies on demand.
+type loader struct {
+	fset    *token.FileSet
+	dir     string                // directory `go list` runs in
+	raw     map[string]*listedPkg // import path -> metadata
+	done    map[string]*Package   // import path -> checked package
+	scope   map[string]bool       // packages loaded with full syntax+info
+	fixRoot string                // fixture source root ("" for go list loads)
+	errs    []error
+}
+
+// Load loads and type-checks the packages matching the go list patterns
+// (run from dir), plus everything they import. The returned slice holds
+// only the matched packages, sorted by path; the Index holds the full
+// closure.
+func Load(dir string, patterns ...string) ([]*Package, *Index, error) {
+	ld := newLoader(dir)
+	if _, err := ld.goList(patterns...); err != nil {
+		return nil, nil, err
+	}
+	// A second, dependency-free listing separates "what the patterns
+	// matched" (analyzed with full syntax and type info) from "what that
+	// needs" (type-checked for import resolution only).
+	matched, err := ld.goMatch(patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ld.finish(matched)
+}
+
+// LoadFixture loads the packages at the given import paths relative to
+// srcRoot (an analysistest-style tree: srcRoot/<import path>/*.go).
+// Imports resolve against the fixture tree first and the standard
+// library second.
+func LoadFixture(srcRoot string, paths ...string) ([]*Package, *Index, error) {
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, nil, err
+	}
+	ld := newLoader(abs)
+	ld.fixRoot = abs
+	return ld.finish(paths)
+}
+
+func newLoader(dir string) *loader {
+	return &loader{
+		fset:  token.NewFileSet(),
+		dir:   dir,
+		raw:   make(map[string]*listedPkg),
+		done:  make(map[string]*Package),
+		scope: make(map[string]bool),
+	}
+}
+
+// finish checks every root with full syntax and assembles the Index.
+func (ld *loader) finish(roots []string) ([]*Package, *Index, error) {
+	for _, p := range roots {
+		ld.scope[p] = true
+	}
+	ix := &Index{fset: ld.fset, pkgs: make(map[string]*Package), allow: make(map[string]map[int][]string)}
+	var out []*Package
+	for _, path := range roots {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: loading %s: %w", path, err)
+		}
+		out = append(out, pkg)
+	}
+	if len(ld.errs) > 0 {
+		return nil, nil, fmt.Errorf("lint: type errors in analyzed packages: %v", ld.errs[0])
+	}
+	for path, pkg := range ld.done {
+		ix.pkgs[path] = pkg
+		for _, f := range pkg.Files {
+			ix.recordDirectives(f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, ix, nil
+}
+
+// goList resolves patterns to package metadata for the full import
+// closure (one `go list` execution; works offline — only the local
+// module and GOROOT are consulted).
+func (ld *loader) goList(patterns ...string) ([]string, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ld.dir
+	// CGO off selects the pure-Go file sets (net, os/user, ...) so every
+	// dependency type-checks from source without a C toolchain.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var roots []string
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		lp := p
+		ld.raw[p.ImportPath] = &lp
+		if !p.Standard {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+	return roots, nil
+}
+
+// goMatch lists just the packages the patterns match (no dependencies).
+func (ld *loader) goMatch(patterns ...string) ([]string, error) {
+	args := append([]string{"list"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ld.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return strings.Fields(string(stdout)), nil
+}
+
+// resolve finds a package's directory and file list.
+func (ld *loader) resolve(path string) (*listedPkg, error) {
+	if p, ok := ld.raw[path]; ok {
+		return p, nil
+	}
+	// GOROOT-vendored dependencies (golang.org/x/crypto/... inside
+	// crypto/tls, for example) are listed under "vendor/<path>" but
+	// imported by their logical path.
+	if p, ok := ld.raw["vendor/"+path]; ok {
+		return p, nil
+	}
+	if ld.fixRoot != "" {
+		dir := filepath.Join(ld.fixRoot, filepath.FromSlash(path))
+		if names, err := os.ReadDir(dir); err == nil {
+			p := &listedPkg{ImportPath: path, Dir: dir}
+			for _, e := range names {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					p.GoFiles = append(p.GoFiles, e.Name())
+				}
+			}
+			if len(p.GoFiles) > 0 {
+				ld.raw[path] = p
+				return p, nil
+			}
+		}
+		// Not in the fixture tree: resolve as a standard-library path and
+		// merge its dependency closure for later imports.
+		if _, err := ld.goList(path); err != nil {
+			return nil, err
+		}
+		if p, ok := ld.raw[path]; ok {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown import path %q", path)
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	pkg, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// load parses and type-checks one package (memoized).
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.done[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	ld.done[path] = nil // cycle marker
+	raw, err := ld.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(raw.GoFiles))
+	for _, name := range raw.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(raw.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	inScope := ld.scope[path]
+	var info *types.Info
+	if inScope {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	cfg := types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			// Collect in-scope errors (they fail the load: analyzers need
+			// sound types); tolerate nothing from dependencies either —
+			// a dependency that fails to check poisons its importers.
+			ld.errs = append(ld.errs, err)
+		},
+	}
+	tpkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: raw.Dir, Files: files, Fset: ld.fset, Types: tpkg, TypesInfo: info}
+	ld.done[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// statePkgs are the packages whose values an observer must treat as
+// read-only: mutating machine, report or session state from an observer
+// callback would break TestObserverInvariance's guarantee that
+// observation never perturbs results (and that a warm cache can skip
+// observation-free replays).
+var statePkgs = []string{
+	"internal/core",
+	"internal/stats",
+	"internal/session",
+}
+
+// ObserverPure inspects every type implementing core.Observer and flags
+// callback bodies that write foreign machine/report/session state:
+// assignments (or ++/--) whose target is a field of a state-package
+// type not rooted at the observer's own receiver, and calls to
+// pointer-receiver methods on such values. An observer may freely
+// mutate itself — that is what SpanRecorder and SwitchCounter are for.
+var ObserverPure = &Analyzer{
+	Name: "observerpure",
+	Doc:  "core.Observer callbacks must not write machine, report or session state",
+	Run:  runObserverPure,
+}
+
+func runObserverPure(pass *Pass) {
+	core := pass.Index.Lookup("internal/core")
+	if core == nil {
+		return
+	}
+	obj, ok := core.Types.Scope().Lookup("Observer").(*types.TypeName)
+	if !ok {
+		return
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	callbacks := make(map[string]bool)
+	for i := 0; i < iface.NumMethods(); i++ {
+		callbacks[iface.Method(i).Name()] = true
+	}
+
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !callbacks[fd.Name.Name] {
+				continue
+			}
+			recvType := info.Defs[fd.Name].(*types.Func).Type().(*types.Signature).Recv().Type()
+			base := namedOf(recvType)
+			if base == nil {
+				continue
+			}
+			// Only types that actually satisfy the interface are observers;
+			// an unrelated method that happens to be called Span is not.
+			if !types.Implements(base.Obj().Type(), iface) &&
+				!types.Implements(types.NewPointer(base.Obj().Type()), iface) {
+				continue
+			}
+			var recvObj types.Object
+			if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recvObj = info.Defs[fd.Recv.List[0].Names[0]]
+			}
+			checkObserverBody(pass, fd, base, recvObj)
+		}
+	}
+}
+
+func checkObserverBody(pass *Pass, fd *ast.FuncDecl, obsType *types.Named, recvObj types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				checkObserverWrite(pass, fd, l, obsType, recvObj)
+			}
+		case *ast.IncDecStmt:
+			checkObserverWrite(pass, fd, n.X, obsType, recvObj)
+		case *ast.CallExpr:
+			checkObserverCall(pass, fd, n, obsType, recvObj)
+		}
+		return true
+	})
+}
+
+// foreignTarget decides whether writing through (or calling a mutating
+// method on) sel escapes the observer: the owner must be a
+// state-package type other than the observer itself, and the value must
+// be shared — reached through a pointer from the receiver, or rooted at
+// something that is not a plain value local (a value local is a copy;
+// mutating it stays private to the callback).
+func foreignTarget(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, owner, obsType *types.Named, recvObj types.Object) bool {
+	if owner == nil || !isStatePkg(pkgPathOf(owner.Obj())) {
+		return false
+	}
+	// The observer's own type may live in a state package (core's
+	// SpanRecorder does); mutating itself is the point.
+	if obsType != nil && owner.Obj() == obsType.Obj() {
+		return false
+	}
+	info := pass.Pkg.TypesInfo
+	root := rootIdent(sel.X)
+	if root == nil {
+		return true
+	}
+	rootObj := info.Uses[root]
+	if rootObj == recvObj {
+		// Reached from the receiver: a value field chain is the
+		// observer's own memory, a pointer hop leads to shared state.
+		if t := info.TypeOf(sel.X); t != nil {
+			_, isPtr := t.Underlying().(*types.Pointer)
+			return isPtr
+		}
+		return true
+	}
+	if v, ok := rootObj.(*types.Var); ok {
+		if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr && insideFunc(pass, fd, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkObserverWrite flags an assignment target that is foreign state.
+func checkObserverWrite(pass *Pass, fd *ast.FuncDecl, lhs ast.Expr, obsType *types.Named, recvObj types.Object) {
+	info := pass.Pkg.TypesInfo
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	owner := namedOf(s.Recv())
+	if !foreignTarget(pass, fd, sel, owner, obsType, recvObj) {
+		return
+	}
+	pass.Reportf(sel.Pos(), "observer callback %s writes %s state (%s.%s); observers must only mutate their own fields",
+		fd.Name.Name, owner.Obj().Pkg().Name(), owner.Obj().Name(), sel.Sel.Name)
+}
+
+// checkObserverCall flags calls to pointer-receiver methods of
+// state-package types on values the observer does not own — the
+// method-shaped spelling of a state write (m.Bump(), rep.Add(...)).
+func checkObserverCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, obsType *types.Named, recvObj types.Object) {
+	info := pass.Pkg.TypesInfo
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return
+	}
+	if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+		return // value receiver cannot mutate the callee
+	}
+	owner := namedOf(sig.Recv().Type())
+	if !foreignTarget(pass, fd, sel, owner, obsType, recvObj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "observer callback %s calls %s.%s, a pointer-receiver method on %s state; observers must not mutate what they observe",
+		fd.Name.Name, owner.Obj().Name(), fn.Name(), owner.Obj().Pkg().Name())
+}
+
+func isStatePkg(path string) bool {
+	for _, p := range statePkgs {
+		if pkgIs(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// insideFunc reports whether a variable is declared within the
+// function (parameter or local), as opposed to captured or global.
+func insideFunc(pass *Pass, fd *ast.FuncDecl, v *types.Var) bool {
+	return fd.Pos() <= v.Pos() && v.Pos() <= fd.End()
+}

@@ -1,0 +1,136 @@
+// Package core is a determinism fixture standing in for the real
+// mtvec/internal/core: its import path ends in internal/core, so the
+// scoped rules (no wall clock, no randomness, collection-only map
+// iteration) apply.
+package core
+
+import (
+	"fmt"
+	"math/rand" // want `deterministic package imports math/rand`
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `deterministic package calls time.Now`
+}
+
+func seed() int { return rand.Int() }
+
+// emit renders directly from map order: flagged.
+func emit(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want `map iteration in a deterministic package is not a pure collection`
+		out += fmt.Sprintf("%s=%d\n", k, v)
+	}
+	return out
+}
+
+// render collects then sorts: the loop body is a pure collection, the
+// rendering reads the sorted slice. Clean.
+func render(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	total := 0
+	for k, v := range m {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Strings(keys)
+	out := fmt.Sprintf("total=%d\n", total)
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d\n", k, m[k])
+	}
+	return out
+}
+
+// maxOf tracks a guarded extremum: order-insensitive, clean.
+func maxOf(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// invert builds a reverse map: inserts keyed by loop data, clean.
+func invert(m map[string]int) map[int]string {
+	r := make(map[int]string, len(m))
+	for k, v := range m {
+		r[v] = k
+	}
+	return r
+}
+
+// prune deletes while iterating: delete is order-insensitive, clean.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// histogram nests iteration with continue and integer ++: clean.
+func histogram(rows map[string][]int) map[int]int {
+	h := make(map[int]int)
+	n := 0
+	for _, vs := range rows {
+		for _, v := range vs {
+			if v < 0 {
+				continue
+			}
+			h[v]++
+			n++
+		}
+	}
+	h[-1] = n
+	return h
+}
+
+// countWide guards on len: a pure condition, clean.
+func countWide(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		if len(vs) > 3 {
+			n++
+		}
+	}
+	return n
+}
+
+// sumFloat accumulates floats, whose rounding is order-sensitive:
+// flagged.
+func sumFloat(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want `map iteration in a deterministic package is not a pure collection`
+		t += v
+	}
+	return t
+}
+
+// firstNonEmpty breaks out mid-iteration, so which entry wins depends
+// on hash order: flagged.
+func firstNonEmpty(m map[string]string) string {
+	got := ""
+	for _, v := range m { // want `map iteration in a deterministic package is not a pure collection`
+		if v != "" {
+			got = v
+			break
+		}
+	}
+	return got
+}
+
+// impureGuard calls through the condition, which could do anything:
+// flagged.
+func impureGuard(m map[string]int, f func(int) bool) int {
+	n := 0
+	for _, v := range m { // want `map iteration in a deterministic package is not a pure collection`
+		if f(v) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+// Package plain is a determinism fixture outside the deterministic
+// packages: only the everywhere rules apply — no order-dependent
+// returns from map iteration, no rendering straight off map order.
+package plain
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// firstBad reports whichever entry hash order reaches first: flagged.
+func firstBad(m map[string]bool) error {
+	for k := range m {
+		if !m[k] {
+			return fmt.Errorf("bad %q", k) // want `return inside map iteration depends on the iteration variables`
+		}
+	}
+	return nil
+}
+
+// dump writes in map order: flagged.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration feeds rendered output`
+	}
+}
+
+// has returns a constant from inside the loop: carries no entry
+// identity, clean.
+func has(m map[string]int) bool {
+	for range m {
+		return true
+	}
+	return false
+}
+
+// build feeds a string builder straight from map order: flagged.
+func build(b *strings.Builder, m map[string]int) {
+	for k := range m {
+		b.WriteString(k) // want `map iteration feeds rendered output`
+	}
+}
+
+// keysQuoted formats into a collected slice — Sprintf does not render
+// to a sink, and the slice can be sorted later: clean.
+func keysQuoted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, fmt.Sprintf("%q", k))
+	}
+	return out
+}
+
+// dumpSorted iterates sorted keys: clean.
+func dumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

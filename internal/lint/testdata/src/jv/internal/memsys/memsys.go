@@ -1,0 +1,43 @@
+// Package memsys is a joinedvalidate fixture standing in for
+// mtvec/internal/memsys: Validate-named functions here must accumulate
+// diagnostics for errors.Join instead of returning the first one.
+package memsys
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Config struct{ Banks, Ports int }
+
+func (c Config) Validate() error {
+	if c.Banks < 1 {
+		return fmt.Errorf("banks %d < 1", c.Banks) // want `Validate returns its first diagnostic directly`
+	}
+	if c.Ports < 1 {
+		return errors.New("no ports") // want `Validate returns its first diagnostic directly`
+	}
+	return nil
+}
+
+type Shape struct{ A, B int }
+
+// ValidateShape accumulates and joins: clean.
+func (s Shape) ValidateShape() error {
+	var errs []error
+	if s.A < 0 {
+		errs = append(errs, fmt.Errorf("a %d < 0", s.A))
+	}
+	if s.B < 0 {
+		errs = append(errs, fmt.Errorf("b %d < 0", s.B))
+	}
+	return errors.Join(errs...)
+}
+
+// check is not Validate-named: out of the invariant's reach.
+func (c Config) check() error {
+	if c.Banks < 1 {
+		return fmt.Errorf("banks")
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package plain is a joinedvalidate negative fixture: identical code
+// outside arch/memsys/session draws no diagnostics.
+package plain
+
+import "fmt"
+
+type Config struct{ Banks int }
+
+func (c Config) Validate() error {
+	if c.Banks < 1 {
+		return fmt.Errorf("banks %d < 1", c.Banks)
+	}
+	return nil
+}

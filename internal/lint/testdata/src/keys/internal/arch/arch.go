@@ -1,0 +1,16 @@
+// Package arch is a keycomplete fixture standing in for
+// mtvec/internal/arch: Spec and RegFile are picked up as key-coverage
+// targets by name whenever a sibling package declares key functions.
+package arch
+
+type RegFile struct {
+	VRegs int
+	VLen  int // want `field RegFile.VLen never reaches memoKey`
+}
+
+type Spec struct {
+	Name string //mtvlint:allow keycomplete -- display label, carries no semantics
+	RegFile
+	Widgets int
+	Ghost   int // want `field Spec.Ghost never reaches memoKey`
+}

@@ -1,0 +1,25 @@
+// Package session is a keycomplete fixture: it declares the key
+// functions, so its RunSpec plus the sibling arch targets must have
+// every field either encoded or exempted.
+package session
+
+import "keys/internal/arch"
+
+type RunSpec struct {
+	mode int
+	opts []int // want `field RunSpec.opts never reaches memoKey`
+}
+
+func (s *RunSpec) memoKey(sp *arch.Spec) string {
+	b := appendMachineKey(nil, sp)
+	b = append(b, byte(s.mode))
+	return string(b)
+}
+
+// appendMachineKey encodes sp.VRegs (a promoted RegFile field — the
+// embedded hop must be credited too) and sp.Widgets, but not VLen,
+// Ghost or Name.
+func appendMachineKey(b []byte, sp *arch.Spec) []byte {
+	b = append(b, byte(sp.VRegs), byte(sp.Widgets))
+	return b
+}

@@ -1,0 +1,30 @@
+// Package impl holds observerpure fixture implementations: one that
+// reaches through a pointer into machine state (flagged) and one that
+// only mutates itself (clean).
+package impl
+
+import "obs/internal/core"
+
+type Meddler struct {
+	M     *core.Machine
+	total int64
+}
+
+func (o *Meddler) Progress(now core.Cycle, dispatched int64) {
+	o.total += dispatched
+	o.M.Dispatched = dispatched // want `observer callback Progress writes core state`
+}
+
+func (o *Meddler) ThreadSwitch(now core.Cycle, from, to int) {
+	o.M.Bump() // want `observer callback ThreadSwitch calls Machine.Bump, a pointer-receiver method on core state`
+}
+
+func (o *Meddler) Span(s core.Span) {
+	s.N = 0 // a value parameter is the callback's own copy: clean
+}
+
+type Counter struct{ switches int }
+
+func (c *Counter) Progress(now core.Cycle, dispatched int64) {}
+func (c *Counter) ThreadSwitch(now core.Cycle, from, to int) { c.switches++ }
+func (c *Counter) Span(s core.Span)                          {}

@@ -1,0 +1,29 @@
+// Package core is an observerpure fixture standing in for
+// mtvec/internal/core: it declares the Observer interface and the
+// machine state observers must not mutate.
+package core
+
+type Cycle uint64
+
+type Span struct{ Unit, N int }
+
+type Observer interface {
+	Progress(now Cycle, dispatched int64)
+	ThreadSwitch(now Cycle, from, to int)
+	Span(s Span)
+}
+
+type Machine struct {
+	Dispatched int64
+	tick       int
+}
+
+func (m *Machine) Bump() { m.tick++ }
+
+// SpanRecorder lives in the state package itself and mutates only its
+// own fields: legal, exactly like the real core.SpanRecorder.
+type SpanRecorder struct{ Spans []Span }
+
+func (r *SpanRecorder) Progress(now Cycle, dispatched int64) {}
+func (r *SpanRecorder) ThreadSwitch(now Cycle, from, to int) {}
+func (r *SpanRecorder) Span(s Span)                          { r.Spans = append(r.Spans, s) }

@@ -58,6 +58,53 @@ mtvec_runs_by_source_total{source="store"} 5
 	}
 }
 
+// TestRenderOrderIndependentOfInsertion locks the full-scrape ordering
+// contract mtvlint's determinism analyzer polices mechanically: two
+// registries populated with the same families and series in opposite
+// orders must render byte-identically, and the text must follow sorted
+// family names with sorted label sets inside each family.
+func TestRenderOrderIndependentOfInsertion(t *testing.T) {
+	forward := func() *Registry {
+		r := NewRegistry()
+		r.Counter("mtvec_a_total", "A.").Inc()
+		v := r.CounterVec("mtvec_b_total", "B.", "worker", "tier")
+		v.With("w1", "memo").Inc()
+		v.With("w1", "sim").Add(2)
+		v.With("w0", "sim").Add(3)
+		r.Gauge("mtvec_c", "C.").Set(7)
+		return r
+	}
+	backward := func() *Registry {
+		r := NewRegistry()
+		r.Gauge("mtvec_c", "C.").Set(7)
+		v := r.CounterVec("mtvec_b_total", "B.", "worker", "tier")
+		v.With("w0", "sim").Add(3)
+		v.With("w1", "sim").Add(2)
+		v.With("w1", "memo").Inc()
+		r.Counter("mtvec_a_total", "A.").Inc()
+		return r
+	}
+	want := `# HELP mtvec_a_total A.
+# TYPE mtvec_a_total counter
+mtvec_a_total 1
+# HELP mtvec_b_total B.
+# TYPE mtvec_b_total counter
+mtvec_b_total{worker="w0",tier="sim"} 3
+mtvec_b_total{worker="w1",tier="memo"} 1
+mtvec_b_total{worker="w1",tier="sim"} 2
+# HELP mtvec_c C.
+# TYPE mtvec_c gauge
+mtvec_c 7
+`
+	f, b := forward().Render(), backward().Render()
+	if f != want {
+		t.Errorf("forward render:\n%s\nwant:\n%s", f, want)
+	}
+	if f != b {
+		t.Errorf("insertion order leaked into the scrape:\nforward:\n%s\nbackward:\n%s", f, b)
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("mtvec_latency_seconds", "Latency.", []float64{0.1, 1, 10})

@@ -57,7 +57,10 @@ type RunSpec struct {
 	workloads []*workload.Workload
 	compiled  *vcomp.Compiled
 	schedule  []vcomp.Invocation
-	opts      []Option
+	// opts is consumed into the plan before any key is computed; every
+	// option's effect lands in a field appendMachineKey already encodes.
+	//mtvlint:allow keycomplete -- options are resolved into plan/cfg fields that the key functions encode
+	opts []Option
 }
 
 // Solo declares a reference run: w alone on thread 0, to completion.

@@ -99,6 +99,11 @@ func (tl *UnitTimeline) AcquireBacking() {
 	tl.box = box
 }
 
+// HasBacking reports whether the timeline currently holds pooled
+// storage — acquired and not yet released. Lets owners assert the
+// acquire/release pairing on error paths.
+func (tl *UnitTimeline) HasBacking() bool { return tl.box != nil }
+
 // ReleaseBacking returns pooled storage for reuse by a later timeline.
 // Call once, after the final Sweep/BusyCycles; the timeline reads as
 // empty afterwards. No-op when AcquireBacking was never called.

@@ -163,3 +163,44 @@ func TestSpeedup(t *testing.T) {
 		t.Error("zero-cycle speedup should be 0")
 	}
 }
+
+// TestBackingPoolRoundTrip exercises the pooled timeline storage
+// in-package: acquire attaches reusable per-unit lists, release hands
+// them back (idempotently) and leaves the timeline empty, and a backed
+// timeline sweeps identically to a plain one.
+func TestBackingPoolRoundTrip(t *testing.T) {
+	var tl UnitTimeline
+	if tl.HasBacking() {
+		t.Fatal("fresh timeline claims pooled backing")
+	}
+	tl.ReleaseBacking() // no-op without backing
+
+	tl.AcquireBacking()
+	if !tl.HasBacking() {
+		t.Fatal("AcquireBacking did not attach backing")
+	}
+	tl.AddBusy(UnitLD, 0, 10)
+	tl.AddBusy(UnitFU1, 5, 15)
+	var plain UnitTimeline
+	plain.AddBusy(UnitLD, 0, 10)
+	plain.AddBusy(UnitFU1, 5, 15)
+	if got, want := tl.Sweep(20), plain.Sweep(20); got != want {
+		t.Fatalf("backed sweep %v != plain sweep %v", got, want)
+	}
+
+	tl.ReleaseBacking()
+	if tl.HasBacking() {
+		t.Fatal("ReleaseBacking left backing attached")
+	}
+	if got := tl.Sweep(20); got[0] != 20 {
+		t.Fatalf("released timeline not empty: %v", got)
+	}
+	tl.ReleaseBacking() // second release is a no-op
+
+	// Re-acquire: pooled or fresh, the timeline must come back empty.
+	tl.AcquireBacking()
+	defer tl.ReleaseBacking()
+	if got := tl.Sweep(20); got[0] != 20 {
+		t.Fatalf("re-acquired timeline not empty: %v", got)
+	}
+}

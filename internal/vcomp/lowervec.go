@@ -2,6 +2,8 @@ package vcomp
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"mtvec/internal/arch"
 	"mtvec/internal/isa"
@@ -459,10 +461,16 @@ func (lo *vlower) checkDrained() error {
 	if n := lo.regs.liveCount(); n != 0 {
 		return fmt.Errorf("internal: %d vector registers leaked", n)
 	}
+	var bad []string
 	for a, n := range lo.uses {
 		if n != 0 {
-			return fmt.Errorf("internal: array %s has %d unconsumed uses", a.Name, n)
+			bad = append(bad, fmt.Sprintf("array %s has %d unconsumed uses", a.Name, n))
 		}
+	}
+	if len(bad) > 0 {
+		// Sorted so the diagnostic does not depend on map iteration order.
+		sort.Strings(bad)
+		return fmt.Errorf("internal: %s", strings.Join(bad, "; "))
 	}
 	return nil
 }

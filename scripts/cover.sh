@@ -18,9 +18,11 @@ DEFAULT_FLOOR=45
 
 declare -A FLOOR=(
   [mtvec]=50
+  [mtvec/cmd/mtvlint]=70
   [mtvec/internal/arch]=90
   [mtvec/internal/cluster]=78
   [mtvec/internal/core]=90
+  [mtvec/internal/lint]=85
   [mtvec/internal/experiments]=88
   [mtvec/internal/isa]=85
   [mtvec/internal/kernel]=90
